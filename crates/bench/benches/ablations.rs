@@ -1,0 +1,146 @@
+//! Ablation benches for the design choices DESIGN.md calls out: each
+//! group evaluates the projection under a variant and prints the key
+//! deltas, so a bench run doubles as a sensitivity study.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ucore_core::{
+    Budgets, ChipSpec, Optimizer, ParallelFraction, PollackLaw, SerialPowerLaw, UCore,
+};
+
+fn f(v: f64) -> ParallelFraction {
+    ParallelFraction::new(v).expect("valid fraction")
+}
+
+/// A representative design point: the ASIC FFT u-core at 22 nm budgets.
+fn spec(alpha: f64, pollack: f64) -> ChipSpec {
+    ChipSpec::heterogeneous(UCore::new(489.0, 4.96).expect("valid"))
+        .with_power_law(SerialPowerLaw::new(alpha).expect("valid"))
+        .with_law(PollackLaw::new(pollack).expect("valid"))
+}
+
+fn budgets() -> Budgets {
+    Budgets::new(75.0, 17.5, 59.0).expect("valid")
+}
+
+fn bench_alpha(c: &mut Criterion) {
+    let opt = Optimizer::paper_default();
+    let b = budgets();
+    c.bench_function("ablation/alpha", |bch| {
+        bch.iter(|| {
+            let mild = opt.optimize(&spec(1.75, 0.5), &b, f(0.9)).expect("feasible");
+            let harsh = opt.optimize(&spec(2.25, 0.5), &b, f(0.9)).expect("feasible");
+            black_box((mild.evaluation.speedup, harsh.evaluation.speedup))
+        })
+    });
+    let mild = opt.optimize(&spec(1.75, 0.5), &b, f(0.9)).expect("feasible");
+    let harsh = opt.optimize(&spec(2.25, 0.5), &b, f(0.9)).expect("feasible");
+    println!(
+        "ablation/alpha: speedup {} (alpha=1.75) vs {} (alpha=2.25)",
+        mild.evaluation.speedup, harsh.evaluation.speedup
+    );
+}
+
+fn bench_rmax(c: &mut Criterion) {
+    let b = budgets();
+    c.bench_function("ablation/r_max", |bch| {
+        bch.iter(|| {
+            let capped = Optimizer::paper_default()
+                .optimize(&spec(1.75, 0.5), &b, f(0.5))
+                .expect("feasible");
+            let uncapped = Optimizer::new(1.0, 64.0, 1.0)
+                .expect("valid sweep")
+                .optimize(&spec(1.75, 0.5), &b, f(0.5))
+                .expect("feasible");
+            black_box((capped.evaluation.r, uncapped.evaluation.r))
+        })
+    });
+    let capped = Optimizer::paper_default()
+        .optimize(&spec(1.75, 0.5), &b, f(0.5))
+        .expect("feasible");
+    let uncapped = Optimizer::new(1.0, 64.0, 1.0)
+        .expect("valid sweep")
+        .optimize(&spec(1.75, 0.5), &b, f(0.5))
+        .expect("feasible");
+    println!(
+        "ablation/r_max: optimal r {} (cap 16) vs {} (cap 64); speedup {} vs {}",
+        capped.evaluation.r,
+        uncapped.evaluation.r,
+        capped.evaluation.speedup,
+        uncapped.evaluation.speedup
+    );
+}
+
+fn bench_r_granularity(c: &mut Criterion) {
+    let b = budgets();
+    c.bench_function("ablation/r_granularity", |bch| {
+        bch.iter(|| {
+            let coarse = Optimizer::new(1.0, 16.0, 1.0)
+                .expect("valid")
+                .optimize(&spec(1.75, 0.5), &b, f(0.9))
+                .expect("feasible");
+            let fine = Optimizer::new(1.0, 16.0, 0.125)
+                .expect("valid")
+                .optimize(&spec(1.75, 0.5), &b, f(0.9))
+                .expect("feasible");
+            black_box((coarse.evaluation.speedup, fine.evaluation.speedup))
+        })
+    });
+}
+
+fn bench_pollack(c: &mut Criterion) {
+    let b = budgets();
+    let opt = Optimizer::paper_default();
+    c.bench_function("ablation/pollack_exponent", |bch| {
+        bch.iter(|| {
+            let mut acc = 0.0;
+            for exp in [0.4, 0.5, 0.6] {
+                let best = opt.optimize(&spec(1.75, exp), &b, f(0.9)).expect("feasible");
+                acc += best.evaluation.speedup.get();
+            }
+            black_box(acc)
+        })
+    });
+    for exp in [0.4, 0.5, 0.6] {
+        let best = opt.optimize(&spec(1.75, exp), &b, f(0.9)).expect("feasible");
+        println!(
+            "ablation/pollack: exponent {exp} -> speedup {} (r = {})",
+            best.evaluation.speedup, best.evaluation.r
+        );
+    }
+}
+
+fn bench_bw_scaling(c: &mut Criterion) {
+    // Linear vs sublinear traffic scaling: how much of the FFT bandwidth
+    // wall is an artifact of the linear assumption?
+    let b = budgets();
+    let opt = Optimizer::paper_default();
+    c.bench_function("ablation/bw_scaling", |bch| {
+        bch.iter(|| {
+            let mut acc = 0.0;
+            for e in [1.0, 0.75, 0.5] {
+                let spec = spec(1.75, 0.5).with_bandwidth_exponent(e);
+                let best = opt.optimize(&spec, &b, f(0.99)).expect("feasible");
+                acc += best.evaluation.speedup.get();
+            }
+            black_box(acc)
+        })
+    });
+    for e in [1.0, 0.75, 0.5] {
+        let s = spec(1.75, 0.5).with_bandwidth_exponent(e);
+        let best = opt.optimize(&s, &b, f(0.99)).expect("feasible");
+        println!(
+            "ablation/bw_scaling: exponent {e} -> speedup {} ({}-limited)",
+            best.evaluation.speedup, best.evaluation.limiter
+        );
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_alpha,
+    bench_rmax,
+    bench_r_granularity,
+    bench_pollack,
+    bench_bw_scaling
+);
+criterion_main!(benches);

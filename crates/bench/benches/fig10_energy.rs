@@ -1,0 +1,18 @@
+//! Figure 10 bench: the MMM energy projection.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ucore_bench::figures;
+use ucore_project::figures::figure10;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(20);
+    group.bench_function("energy_projection", |b| {
+        b.iter(|| black_box(figure10().expect("projection succeeds")))
+    });
+    group.finish();
+    println!("{}", figures::figure10().expect("projection succeeds"));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 2 bench: the FFT performance sweep — both the simulated-lab
+//! series and the *real* Rust FFT kernel at representative sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ucore_bench::figures;
+use ucore_devices::DeviceId;
+use ucore_simdev::SimLab;
+use ucore_workloads::fft::{Complex, Direction, Fft};
+use ucore_workloads::gen::random_signal;
+
+fn bench(c: &mut Criterion) {
+    let lab = SimLab::paper();
+    c.bench_function("fig2/lab_sweep_all_devices", |b| {
+        b.iter(|| {
+            let mut points = 0usize;
+            for device in DeviceId::ALL {
+                points += lab.fft_sweep(device).len();
+            }
+            black_box(points)
+        })
+    });
+
+    let mut group = c.benchmark_group("fig2/real_fft_kernel");
+    for log2 in [6u32, 10, 14] {
+        let n = 1usize << log2;
+        let plan = Fft::new(n).expect("power of two");
+        let signal = random_signal(n, 1);
+        let flops = 5.0 * n as f64 * f64::from(log2);
+        group.throughput(Throughput::Elements(flops as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut buf: Vec<Complex> = signal.clone();
+            b.iter(|| {
+                buf.copy_from_slice(&signal);
+                plan.transform(&mut buf, Direction::Forward).expect("sized");
+                black_box(buf[0])
+            })
+        });
+    }
+    group.finish();
+
+    println!("{}", figures::figure2());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

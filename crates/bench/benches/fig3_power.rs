@@ -1,0 +1,37 @@
+//! Figure 3 bench: power breakdowns and the uncore-subtraction
+//! methodology across the FFT sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ucore_bench::figures;
+use ucore_devices::DeviceId;
+use ucore_simdev::{PowerModel, SimLab};
+
+fn bench(c: &mut Criterion) {
+    let lab = SimLab::paper();
+    c.bench_function("fig3/breakdown_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for device in DeviceId::ALL {
+                for m in lab.fft_sweep(device) {
+                    acc += m.breakdown.total();
+                }
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("fig3/uncore_subtraction", |b| {
+        let model = PowerModel::for_device(DeviceId::Gtx285);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for traffic in 0..200 {
+                let breakdown = model.breakdown(66.8, traffic as f64);
+                acc += model.subtract_uncore(breakdown.total(), traffic as f64);
+            }
+            black_box(acc)
+        })
+    });
+    println!("{}", figures::figure3());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

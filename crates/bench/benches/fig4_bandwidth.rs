@@ -1,0 +1,20 @@
+//! Figure 4 bench: energy-efficiency series and the bandwidth-counter
+//! sweep with the on-chip capacity transition.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ucore_bench::figures;
+use ucore_devices::DeviceId;
+use ucore_simdev::counters;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig4/bandwidth_counter_sweep", |b| {
+        b.iter(|| {
+            let sweep = counters::fft_bandwidth_sweep(DeviceId::Gtx285, true);
+            black_box(sweep.len())
+        })
+    });
+    println!("{}", figures::figure4());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

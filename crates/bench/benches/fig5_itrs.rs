@@ -1,0 +1,24 @@
+//! Figure 5 bench: ITRS trend-series construction and interpolation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ucore_bench::figures;
+use ucore_itrs::{Trend, TrendSeries};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig5/trend_series", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for trend in Trend::ALL {
+                let series = TrendSeries::itrs_2009(trend);
+                for year in 2011..=2022 {
+                    acc += series.at(year).unwrap_or(0.0);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    println!("{}", figures::figure5());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Figure 6 bench: the full FFT-1024 projection (four panels, six
+//! designs, five nodes, r swept to 16).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ucore_bench::figures;
+use ucore_project::figures::figure6;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(20);
+    group.bench_function("fft1024_projection", |b| {
+        b.iter(|| black_box(figure6().expect("projection succeeds")))
+    });
+    group.finish();
+    println!("{}", figures::figure6().expect("projection succeeds"));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Figure 7 bench: the MMM projection (seven designs, ASIC exempt from
+//! the bandwidth bound).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ucore_bench::figures;
+use ucore_project::figures::figure7;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(20);
+    group.bench_function("mmm_projection", |b| {
+        b.iter(|| black_box(figure7().expect("projection succeeds")))
+    });
+    group.finish();
+    println!("{}", figures::figure7().expect("projection succeeds"));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

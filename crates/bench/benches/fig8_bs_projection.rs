@@ -1,0 +1,18 @@
+//! Figure 8 bench: the Black-Scholes projection.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ucore_bench::figures;
+use ucore_project::figures::figure8;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(20);
+    group.bench_function("bs_projection", |b| {
+        b.iter(|| black_box(figure8().expect("projection succeeds")))
+    });
+    group.finish();
+    println!("{}", figures::figure8().expect("projection succeeds"));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 9 bench: FFT-1024 under the 1 TB/s bandwidth scenario.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ucore_bench::figures;
+use ucore_project::figures::figure9;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(20);
+    group.bench_function("terabyte_projection", |b| {
+        b.iter(|| black_box(figure9().expect("projection succeeds")))
+    });
+    group.finish();
+    println!("{}", figures::figure9().expect("projection succeeds"));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Real-kernel throughput benches: the Rust MMM / FFT / Black-Scholes
+//! implementations the reproduction ships instead of MKL / CUFFT /
+//! PARSEC.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ucore_workloads::blackscholes::batch;
+use ucore_workloads::fft::{Direction, Fft};
+use ucore_workloads::gen::{random_matrix, random_portfolio, random_signal};
+use ucore_workloads::fft::splitradix::SplitRadixFft;
+use ucore_workloads::fft::Direction as FftDirection;
+use ucore_workloads::mmm::{blocked, naive, parallel, strassen};
+
+fn bench_mmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/mmm");
+    for n in [64usize, 128] {
+        let a = random_matrix(n, n, 1);
+        let b_m = random_matrix(n, n, 2);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| black_box(naive::multiply(&a, &b_m).expect("conformable")))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |b, _| {
+            b.iter(|| black_box(blocked::multiply(&a, &b_m, 32).expect("conformable")))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel4", n), &n, |b, _| {
+            b.iter(|| black_box(parallel::multiply(&a, &b_m, 32, 4).expect("conformable")))
+        });
+        group.bench_with_input(BenchmarkId::new("strassen", n), &n, |b, _| {
+            b.iter(|| black_box(strassen::multiply(&a, &b_m).expect("conformable")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/fft");
+    for log2 in [8u32, 12] {
+        let n = 1usize << log2;
+        let plan = Fft::new(n).expect("power of two");
+        let signal = random_signal(n, 3);
+        group.throughput(Throughput::Elements((5 * n as u64) * u64::from(log2)));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut buf = signal.clone();
+            b.iter(|| {
+                buf.copy_from_slice(&signal);
+                plan.transform(&mut buf, Direction::Forward).expect("sized");
+                black_box(buf[0])
+            })
+        });
+        let split = SplitRadixFft::new(n).expect("power of two");
+        group.bench_with_input(BenchmarkId::new("split_radix", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    split
+                        .transform(&signal, FftDirection::Forward)
+                        .expect("sized"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/black_scholes");
+    let portfolio = random_portfolio(4096, 5);
+    group.throughput(Throughput::Elements(portfolio.len() as u64));
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(batch::price_all(&portfolio)))
+    });
+    group.bench_function("parallel4", |b| {
+        b.iter(|| black_box(batch::price_all_parallel(&portfolio, 4).expect("threads > 0")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mmm, bench_fft, bench_bs);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Table 1 bench: bound computation and the limiter classification,
+//! swept across sequential-core sizes — plus the printed reproduction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ucore_bench::tables;
+use ucore_core::{BoundSet, Budgets, ChipSpec, UCore};
+
+fn bench(c: &mut Criterion) {
+    let budgets = Budgets::new(298.0, 34.9, 475.0).expect("valid");
+    let specs = [
+        ChipSpec::symmetric(),
+        ChipSpec::asymmetric_offload(),
+        ChipSpec::heterogeneous(UCore::new(27.4, 0.79).expect("valid")),
+    ];
+    c.bench_function("table1/bound_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for spec in &specs {
+                for r in 1..=16 {
+                    if let Ok(bounds) = BoundSet::compute(spec, &budgets, r as f64) {
+                        acc += bounds.n_max();
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("table1/render", |b| b.iter(|| black_box(tables::table1())));
+
+    // Regenerate the table once so the bench run leaves the artifact in
+    // its log, as the harness contract requires.
+    println!("{}", tables::table1());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

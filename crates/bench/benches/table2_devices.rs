@@ -1,0 +1,28 @@
+//! Table 2 bench: catalog construction and area normalization, plus the
+//! printed reproduction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ucore_bench::tables;
+use ucore_devices::{Catalog, DeviceId};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table2/catalog_build", |b| {
+        b.iter(|| black_box(Catalog::paper()))
+    });
+    let catalog = Catalog::paper();
+    c.bench_function("table2/area_normalization", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for id in DeviceId::ALL {
+                if let Ok(area) = catalog.normalized_core_area(id) {
+                    acc += area;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    println!("{}", tables::table2());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

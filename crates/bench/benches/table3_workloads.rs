@@ -1,0 +1,28 @@
+//! Table 3 bench: workload characterization (FLOP counts, intensities),
+//! plus the printed reproduction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ucore_bench::tables;
+use ucore_workloads::Workload;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table3/characterize_all", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for log2 in 4..=20 {
+                let fft = Workload::fft(1usize << log2).expect("power of two");
+                acc += fft.arithmetic_intensity() + fft.flops_per_unit();
+            }
+            for n in [64usize, 128, 512, 2048] {
+                let mmm = Workload::mmm(n).expect("non-zero");
+                acc += mmm.bytes_per_flop();
+            }
+            acc += Workload::black_scholes().compulsory_bytes_per_unit();
+            black_box(acc)
+        })
+    });
+    println!("{}", tables::table3());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

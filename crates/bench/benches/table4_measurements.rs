@@ -1,0 +1,22 @@
+//! Table 4 bench: the simulated lab's MMM and Black-Scholes measurement
+//! sweeps, plus the printed reproduction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ucore_bench::tables;
+use ucore_simdev::SimLab;
+use ucore_workloads::WorkloadKind;
+
+fn bench(c: &mut Criterion) {
+    let lab = SimLab::paper();
+    c.bench_function("table4/measure_mmm_and_bs", |b| {
+        b.iter(|| {
+            let mmm = lab.table4(WorkloadKind::Mmm);
+            let bs = lab.table4(WorkloadKind::BlackScholes);
+            black_box((mmm.len(), bs.len()))
+        })
+    });
+    println!("{}", tables::table4());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Table 5 bench: the full calibration pipeline (measure every cell,
+//! derive every `(µ, φ)`), plus the printed reproduction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ucore_bench::tables;
+use ucore_calibrate::Table5;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table5/full_derivation", |b| {
+        b.iter(|| black_box(Table5::derive().expect("calibration succeeds")))
+    });
+    println!("{}", tables::table5().expect("calibration succeeds"));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Table 6 bench: roadmap construction and the scenario derivations,
+//! plus the printed reproduction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ucore_bench::tables;
+use ucore_itrs::Roadmap;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table6/roadmap_and_scenarios", |b| {
+        b.iter(|| {
+            let base = Roadmap::itrs_2009();
+            let variants = [
+                base.with_bandwidth_gb_s(90.0),
+                base.with_bandwidth_gb_s(1000.0),
+                base.with_core_area_mm2(216.0),
+                base.with_power_budget_w(200.0),
+                base.with_power_budget_w(10.0),
+            ];
+            black_box(variants.iter().map(|r| r.nodes().len()).sum::<usize>())
+        })
+    });
+    println!("{}", tables::table6());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

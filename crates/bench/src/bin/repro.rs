@@ -1,0 +1,81 @@
+//! The reproduction driver: prints any table or figure of the paper.
+//!
+//! ```text
+//! repro --all                  # everything, in paper order
+//! repro --table 5              # one table (1-6)
+//! repro --figure 6             # one figure (2-10)
+//! repro --scenario 3           # one 6.2 scenario (1-6)
+//! repro --json figure-6        # machine-readable figure data
+//! ```
+
+use std::process::ExitCode;
+use ucore_bench::{figures, scenarios, tables};
+
+fn usage() -> &'static str {
+    "usage: repro [--all | --experiments | --table N | --figure N | --scenario N | --json figure-N | --csv figure-N]\n\
+     tables: 1-6; figures: 2-10; scenarios: 1-6; json/csv: figures 6-10"
+}
+
+fn projection(which: &str) -> Result<ucore_project::FigureData, Box<dyn std::error::Error>> {
+    Ok(match which {
+        "figure-6" => ucore_project::figures::figure6()?,
+        "figure-7" => ucore_project::figures::figure7()?,
+        "figure-8" => ucore_project::figures::figure8()?,
+        "figure-9" => ucore_project::figures::figure9()?,
+        "figure-10" => ucore_project::figures::figure10()?,
+        other => return Err(format!("unknown projection target {other}\n{}", usage()).into()),
+    })
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] | [_] if args.first().map(String::as_str) == Some("--all") || args.is_empty() => {
+            print!("{}", ucore_bench::render_all()?);
+            Ok(())
+        }
+        [flag] if flag == "--experiments" => {
+            print!("{}", ucore_bench::experiments::render()?);
+            Ok(())
+        }
+        [flag, value] => {
+            let out = match (flag.as_str(), value.as_str()) {
+                ("--table", "1") => tables::table1(),
+                ("--table", "2") => tables::table2(),
+                ("--table", "3") => tables::table3(),
+                ("--table", "4") => tables::table4(),
+                ("--table", "5") => tables::table5()?,
+                ("--table", "6") => tables::table6(),
+                ("--figure", "2") => figures::figure2(),
+                ("--figure", "3") => figures::figure3(),
+                ("--figure", "4") => figures::figure4(),
+                ("--figure", "5") => figures::figure5(),
+                ("--figure", "6") => figures::figure6()?,
+                ("--figure", "7") => figures::figure7()?,
+                ("--figure", "8") => figures::figure8()?,
+                ("--figure", "9") => figures::figure9()?,
+                ("--figure", "10") => figures::figure10()?,
+                ("--scenario", n) => {
+                    let n: u8 = n.parse().map_err(|_| usage().to_string())?;
+                    scenarios::scenario(n)?
+                }
+                ("--json", which) => serde_json::to_string_pretty(&projection(which)?)?,
+                ("--csv", which) => figures::figure_csv(&projection(which)?),
+                _ => return Err(usage().into()),
+            };
+            println!("{out}");
+            Ok(())
+        }
+        _ => Err(usage().into()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Machine-generated EXPERIMENTS.md-style records: paper-published
+//! values vs this reproduction's, as markdown.
+
+use ucore_calibrate::{Table5, WorkloadColumn};
+use ucore_core::ParallelFraction;
+use ucore_devices::{DeviceId, TechNode};
+use ucore_project::{figures, DesignId, ProjectionEngine, Scenario};
+use ucore_report::MarkdownTable;
+
+/// The published Table 5, used as the comparison baseline.
+fn published_table5() -> Vec<(DeviceId, WorkloadColumn, f64, f64)> {
+    use DeviceId::*;
+    use WorkloadColumn::*;
+    vec![
+        (Gtx285, Mmm, 3.41, 0.74),
+        (Gtx285, Bs, 17.0, 0.57),
+        (Gtx285, Fft64, 2.42, 0.59),
+        (Gtx285, Fft1024, 2.88, 0.63),
+        (Gtx285, Fft16384, 3.75, 0.89),
+        (Gtx480, Mmm, 1.83, 0.77),
+        (Gtx480, Fft64, 1.56, 0.39),
+        (Gtx480, Fft1024, 2.20, 0.47),
+        (Gtx480, Fft16384, 2.83, 0.66),
+        (R5870, Mmm, 8.47, 1.27),
+        (V6Lx760, Mmm, 0.75, 0.31),
+        (V6Lx760, Bs, 5.68, 0.26),
+        (V6Lx760, Fft64, 2.81, 0.29),
+        (V6Lx760, Fft1024, 2.02, 0.29),
+        (V6Lx760, Fft16384, 3.02, 0.37),
+        (Asic, Mmm, 27.4, 0.79),
+        (Asic, Bs, 482.0, 4.75),
+        (Asic, Fft64, 733.0, 5.34),
+        (Asic, Fft1024, 489.0, 4.96),
+        (Asic, Fft16384, 689.0, 6.38),
+    ]
+}
+
+/// A markdown comparison of every published Table 5 cell against the
+/// derived value, with the relative error.
+///
+/// # Errors
+///
+/// Propagates calibration failures (none with the shipped data).
+pub fn table5_comparison() -> Result<String, Box<dyn std::error::Error>> {
+    let derived = Table5::derive()?;
+    let mut t = MarkdownTable::new(vec![
+        "device".into(),
+        "workload".into(),
+        "mu (paper)".into(),
+        "mu (derived)".into(),
+        "mu err".into(),
+        "phi (paper)".into(),
+        "phi (derived)".into(),
+        "phi err".into(),
+    ]);
+    let mut worst: f64 = 0.0;
+    for (device, column, mu_pub, phi_pub) in published_table5() {
+        let u = derived
+            .ucore(device, column)
+            .ok_or_else(|| format!("missing cell {device:?} {column}"))?;
+        let mu_err = (u.mu() - mu_pub).abs() / mu_pub;
+        let phi_err = (u.phi() - phi_pub).abs() / phi_pub;
+        worst = worst.max(mu_err).max(phi_err);
+        t.row(vec![
+            device.label().into(),
+            column.label().into(),
+            format!("{mu_pub}"),
+            format!("{:.3}", u.mu()),
+            format!("{:.2}%", mu_err * 100.0),
+            format!("{phi_pub}"),
+            format!("{:.3}", u.phi()),
+            format!("{:.2}%", phi_err * 100.0),
+        ]);
+    }
+    Ok(format!(
+        "### Table 5: paper vs derived\n\n{t}\nWorst relative error: {:.2}%\n",
+        worst * 100.0
+    ))
+}
+
+/// A markdown record of the projection-figure ceilings (the numbers the
+/// EXPERIMENTS.md shape checks quote).
+///
+/// # Errors
+///
+/// Propagates projection failures.
+pub fn figure_ceilings() -> Result<String, Box<dyn std::error::Error>> {
+    let fig6 = figures::figure6()?;
+    let fig7 = figures::figure7()?;
+    let fig8 = figures::figure8()?;
+    let mut t = MarkdownTable::new(vec![
+        "figure".into(),
+        "f".into(),
+        "design".into(),
+        "11nm speedup".into(),
+        "paper's axis scale".into(),
+    ]);
+    let mut push = |fig: &ucore_project::FigureData,
+                    f: f64,
+                    label: &str,
+                    paper: &str| {
+        if let Some(v) = fig.value(f, label, TechNode::N11) {
+            t.row(vec![
+                fig.id.clone(),
+                f.to_string(),
+                label.into(),
+                format!("{v:.1}"),
+                paper.into(),
+            ]);
+        }
+    };
+    push(&fig6, 0.999, "ASIC", "~65-70");
+    push(&fig6, 0.99, "ASIC", "~55-60");
+    push(&fig7, 0.999, "ASIC", "~900-1000");
+    push(&fig7, 0.999, "R5870", "~150-250");
+    push(&fig8, 0.9, "ASIC", "~30-35");
+    Ok(format!("### Projection ceilings: paper vs reproduced\n\n{t}"))
+}
+
+/// The §6.2 scenario verdicts, evaluated live.
+///
+/// # Errors
+///
+/// Propagates projection failures.
+pub fn scenario_verdicts() -> Result<String, Box<dyn std::error::Error>> {
+    let f99 = ParallelFraction::new(0.99)?;
+    let baseline = ProjectionEngine::new(Scenario::baseline())?;
+    let ten_watt = ProjectionEngine::new(Scenario::s5_low_power())?;
+    let asic = DesignId::Het(DeviceId::Asic);
+    let gpu = DesignId::Het(DeviceId::Gtx480);
+    let col = WorkloadColumn::Fft1024;
+
+    let keep = |e: &ProjectionEngine, d: DesignId| {
+        e.speedup_at(d, col, TechNode::N11, f99).unwrap_or(f64::NAN)
+    };
+    let mut t = MarkdownTable::new(vec![
+        "claim".into(),
+        "quantity".into(),
+        "holds".into(),
+    ]);
+    let asic_keep = keep(&ten_watt, asic) / keep(&baseline, asic);
+    let gpu_keep = keep(&ten_watt, gpu) / keep(&baseline, gpu);
+    t.row(vec![
+        "at 10 W only the ASIC stays near its 100 W performance".into(),
+        format!("ASIC keeps {:.0}%, GTX480 keeps {:.0}%", asic_keep * 100.0, gpu_keep * 100.0),
+        (asic_keep > 2.0 * gpu_keep).to_string(),
+    ]);
+    Ok(format!("### Scenario spot-checks\n\n{t}"))
+}
+
+/// The paper's headline crossovers, located live and rendered.
+///
+/// # Errors
+///
+/// Propagates projection failures.
+pub fn crossovers() -> Result<String, Box<dyn std::error::Error>> {
+    let engine = ProjectionEngine::new(Scenario::baseline())?;
+    let mut t = MarkdownTable::new(vec!["crossover".into(), "located at".into()]);
+    for record in ucore_project::paper_crossovers(&engine)? {
+        t.row(vec![
+            record.description,
+            record
+                .value
+                .map(|v| format!("{v:.4}"))
+                .unwrap_or_else(|| "not reached".into()),
+        ]);
+    }
+    Ok(format!("### Crossovers, located programmatically\n\n{t}"))
+}
+
+/// The full `--experiments` export.
+///
+/// # Errors
+///
+/// Propagates any generation failure.
+pub fn render() -> Result<String, Box<dyn std::error::Error>> {
+    Ok(format!(
+        "# Reproduction record (generated by `repro --experiments`)\n\n{}\n{}\n{}\n{}",
+        table5_comparison()?,
+        figure_ceilings()?,
+        scenario_verdicts()?,
+        crossovers()?
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn export_contains_all_sections_and_small_errors() {
+        let report = super::render().unwrap();
+        assert!(report.contains("### Table 5"));
+        assert!(report.contains("### Projection ceilings"));
+        assert!(report.contains("### Scenario spot-checks"));
+        assert!(report.contains("true"));
+        // The worst Table 5 error stays within rounding tolerance.
+        let worst_line = report
+            .lines()
+            .find(|l| l.starts_with("Worst relative error"))
+            .unwrap();
+        let pct: f64 = worst_line
+            .trim_start_matches("Worst relative error: ")
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
+        assert!(pct < 2.0, "worst error {pct}%");
+    }
+}

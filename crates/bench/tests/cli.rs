@@ -1,0 +1,88 @@
+//! Integration tests of the `repro` binary itself — argument handling,
+//! exit codes, and the shape of its output.
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+#[test]
+fn table_five_prints_the_grid() {
+    let out = repro(&["--table", "5"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("Table 5"));
+    assert!(text.contains("ASIC"));
+    assert!(text.contains("FFT-16384"));
+}
+
+#[test]
+fn figures_and_scenarios_render() {
+    for args in [
+        ["--figure", "5"],
+        ["--figure", "6"],
+        ["--figure", "10"],
+        ["--scenario", "2"],
+    ] {
+        let out = repro(&args);
+        assert!(out.status.success(), "{args:?}");
+        assert!(!out.stdout.is_empty(), "{args:?}");
+    }
+}
+
+#[test]
+fn json_export_parses() {
+    let out = repro(&["--json", "figure-8"]);
+    assert!(out.status.success());
+    let parsed: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(parsed["id"], "figure-8");
+    assert!(parsed["panels"].as_array().unwrap().len() == 2);
+}
+
+#[test]
+fn csv_export_has_headers_and_rows() {
+    let out = repro(&["--csv", "figure-10"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let mut lines = text.lines();
+    assert_eq!(
+        lines.next().unwrap(),
+        "figure,f,design,node,speedup,energy,limiter"
+    );
+    assert!(lines.count() > 50, "expected a row per (f, design, node)");
+}
+
+#[test]
+fn experiments_export_includes_comparisons() {
+    let out = repro(&["--experiments"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("### Table 5: paper vs derived"));
+    assert!(text.contains("Crossovers"));
+}
+
+#[test]
+fn bad_arguments_fail_with_usage() {
+    for args in [
+        vec!["--table", "9"],
+        vec!["--figure", "1"],
+        vec!["--scenario", "7"],
+        vec!["--json", "figure-2"],
+        vec!["--nonsense"],
+        vec!["--table"],
+    ] {
+        let out = repro(&args);
+        assert!(!out.status.success(), "{args:?} should fail");
+        let err = String::from_utf8(out.stderr).unwrap();
+        // Every failure explains itself: the usage line or a specific
+        // out-of-range message.
+        assert!(
+            err.contains("usage") || err.contains("not one of"),
+            "{args:?}: {err}"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests over the calibration pipeline.
+
+use proptest::prelude::*;
+use ucore_calibrate::{
+    derive_ucore, mu_ranking, table5_with_conventions, BceCalibration, Table5,
+    WorkloadColumn, CALIBRATION_ALPHA,
+};
+use ucore_devices::DeviceId;
+use ucore_simdev::SimLab;
+use ucore_workloads::Workload;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn derivation_scales_predictably_with_r(r in 1.0f64..8.0) {
+        // mu ∝ 1/sqrt(r): derived values track the convention smoothly.
+        let lab = SimLab::paper();
+        let w = Workload::mmm(128).unwrap();
+        let i7 = lab.measure(DeviceId::CoreI7_960, w).unwrap();
+        let gpu = lab.measure(DeviceId::Gtx285, w).unwrap();
+        let at_r = derive_ucore(&i7, &gpu, r, CALIBRATION_ALPHA).unwrap();
+        let at_2 = derive_ucore(&i7, &gpu, 2.0, CALIBRATION_ALPHA).unwrap();
+        let expect = at_2.mu() * (2.0f64 / r).sqrt();
+        prop_assert!((at_r.mu() - expect).abs() < 1e-9 * expect);
+    }
+
+    #[test]
+    fn conventions_never_flip_rankings(
+        area_factor in 0.5f64..2.0,
+        r in 1.5f64..3.0,
+        alpha in 1.2f64..2.5,
+    ) {
+        let rows = table5_with_conventions(area_factor, r, alpha).unwrap();
+        for column in WorkloadColumn::ALL {
+            let ranking = mu_ranking(&rows, column);
+            prop_assert_eq!(ranking[0], DeviceId::Asic, "{}", column);
+            // The FPGA is the slowest per-area MMM option in every
+            // convention.
+            if column == WorkloadColumn::Mmm {
+                prop_assert_eq!(*ranking.last().unwrap(), DeviceId::V6Lx760);
+            }
+        }
+    }
+
+    #[test]
+    fn bce_budget_conversions_are_linear(
+        watts in 10.0f64..400.0,
+        scale in 0.2f64..1.0,
+        gb_s in 10.0f64..2000.0,
+    ) {
+        let bce = BceCalibration::derive(Workload::fft(1024).unwrap()).unwrap();
+        let p = bce.power_budget_units(watts, scale);
+        prop_assert!((bce.power_budget_units(2.0 * watts, scale) - 2.0 * p).abs() < 1e-9 * p);
+        prop_assert!((bce.power_budget_units(watts, scale / 2.0) - 2.0 * p).abs() < 1e-9 * p);
+        let b = bce.bandwidth_budget_units(gb_s);
+        prop_assert!((bce.bandwidth_budget_units(3.0 * gb_s) - 3.0 * b).abs() < 1e-9 * b);
+    }
+}
+
+#[test]
+fn table5_is_stable_across_derivations() {
+    // Calibration is deterministic: two derivations agree bit-for-bit.
+    let a = Table5::derive().unwrap();
+    let b = Table5::derive().unwrap();
+    assert_eq!(a, b);
+}

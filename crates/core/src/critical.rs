@@ -1,0 +1,239 @@
+//! Critical sections in Amdahl's Law (Eyerman & Eeckhout, ISCA 2010 —
+//! the paper's related work \[50\]).
+//!
+//! Real parallel code is not "uniform, infinitely divisible and
+//! perfectly scheduled": some of the parallel fraction executes inside
+//! critical sections that serialize when they contend. Eyerman and
+//! Eeckhout's probabilistic model splits the parallel fraction `f` into
+//! a contended part and refines Amdahl's denominator:
+//!
+//! `time = (1−f) + f·(1−f_cs)/n + f_cs·f·(c_prob·f_cs·f + (1−c_prob·f_cs·f)/n)`
+//!
+//! where `f_cs` is the fraction of parallel work inside critical
+//! sections and `c_prob` the contention probability. At `c_prob = 0`
+//! the model collapses to Amdahl; at `c_prob = 1, f_cs = 1` the
+//! "parallel" work fully serializes.
+//!
+//! This module applies the same refinement to the U-core machine: the
+//! parallel fabric delivers `µ(n−r)` on contention-free work, while
+//! contended critical sections execute at the *sequential* core's rate
+//! (they are serial work, and the paper's §6.3 notes custom logic and
+//! FPGAs can pipeline such irregular sections — modeled by an optional
+//! critical-section accelerator factor).
+
+use crate::error::{ensure_positive, ModelError};
+use crate::seq::{PollackLaw, SequentialLaw};
+use crate::ucore::UCore;
+use crate::units::{ParallelFraction, Speedup};
+use serde::{Deserialize, Serialize};
+
+/// A workload with critical sections.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CriticalSectionWorkload {
+    /// Amdahl parallel fraction `f`.
+    pub f: ParallelFraction,
+    /// Fraction of the parallel work inside critical sections,
+    /// `f_cs ∈ [0, 1]`.
+    pub f_cs: f64,
+    /// Probability a critical-section entry contends, `∈ [0, 1]`.
+    pub contention: f64,
+}
+
+impl CriticalSectionWorkload {
+    /// Creates a critical-section workload description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidFraction`] if `f_cs` or `contention`
+    /// leaves `[0, 1]`.
+    pub fn new(
+        f: ParallelFraction,
+        f_cs: f64,
+        contention: f64,
+    ) -> Result<Self, ModelError> {
+        for value in [f_cs, contention] {
+            if !(value.is_finite() && (0.0..=1.0).contains(&value)) {
+                return Err(ModelError::InvalidFraction { value });
+            }
+        }
+        Ok(CriticalSectionWorkload { f, f_cs, contention })
+    }
+
+    /// The fraction of total time that serializes due to contended
+    /// critical sections: `f · f_cs · contention`.
+    pub fn serialized_fraction(&self) -> f64 {
+        self.f.get() * self.f_cs * self.contention
+    }
+
+    /// Speedup on a symmetric machine of `n` BCE cores (Eyerman &
+    /// Eeckhout's base setting; cores are BCE-sized, `perf = 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NonPositive`] for `n ≤ 0`.
+    pub fn speedup_symmetric(&self, n: f64) -> Result<Speedup, ModelError> {
+        ensure_positive("n", n)?;
+        let f = self.f.get();
+        let serial = self.f.serial();
+        let contended = self.serialized_fraction();
+        let parallel = f - contended;
+        Speedup::new(1.0 / (serial + contended + parallel / n))
+    }
+
+    /// Speedup on the paper's heterogeneous machine: a sequential core
+    /// of size `r` runs serial work *and* contended critical sections
+    /// (optionally sped up by `cs_accel ≥ 1`, modeling the §6.3
+    /// observation that FPGAs/custom logic can pipeline irregular
+    /// sections); the U-cores run the contention-free parallel work.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `n`/`r` validation errors.
+    pub fn speedup_heterogeneous(
+        &self,
+        n: f64,
+        r: f64,
+        ucore: &UCore,
+        cs_accel: f64,
+        law: &PollackLaw,
+    ) -> Result<Speedup, ModelError> {
+        ensure_positive("n", n)?;
+        ensure_positive("r", r)?;
+        ensure_positive("cs accel", cs_accel)?;
+        if r > n {
+            return Err(ModelError::SequentialExceedsTotal { r, n });
+        }
+        let contended = self.serialized_fraction();
+        let parallel = self.f.get() - contended;
+        if parallel > 0.0 && n - r <= 0.0 {
+            return Err(ModelError::Infeasible {
+                reason: format!("no u-core area left with r = n = {n}"),
+            });
+        }
+        let seq_perf = law.perf(r);
+        let mut time = self.f.serial() / seq_perf + contended / (seq_perf * cs_accel);
+        if parallel > 0.0 {
+            time += parallel / (ucore.mu() * (n - r));
+        }
+        Speedup::new(1.0 / time)
+    }
+
+    /// The asymptote of [`speedup_symmetric`](Self::speedup_symmetric)
+    /// as `n → ∞`: contention caps scaling below Amdahl's `1/(1−f)`.
+    pub fn scaling_ceiling(&self) -> f64 {
+        1.0 / (self.f.serial() + self.serialized_fraction())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(v: f64) -> ParallelFraction {
+        ParallelFraction::new(v).unwrap()
+    }
+
+    #[test]
+    fn no_contention_recovers_amdahl() {
+        let w = CriticalSectionWorkload::new(f(0.9), 0.5, 0.0).unwrap();
+        let s = w.speedup_symmetric(64.0).unwrap().get();
+        let amdahl = crate::speedup::amdahl(f(0.9), 64.0).unwrap().get();
+        assert!((s - amdahl).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_contention_serializes_critical_sections() {
+        let w = CriticalSectionWorkload::new(f(1.0), 1.0, 1.0).unwrap();
+        // Everything is a contended critical section: no speedup at all.
+        let s = w.speedup_symmetric(1024.0).unwrap().get();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contention_caps_scaling_below_amdahl() {
+        let w = CriticalSectionWorkload::new(f(0.99), 0.2, 0.5).unwrap();
+        let ceiling = w.scaling_ceiling();
+        let amdahl_limit = 1.0 / 0.01;
+        assert!(ceiling < amdahl_limit);
+        // And huge machines approach the ceiling from below.
+        let s = w.speedup_symmetric(1e9).unwrap().get();
+        assert!((s - ceiling).abs() / ceiling < 1e-6);
+        assert!(s < ceiling + 1e-9);
+    }
+
+    #[test]
+    fn more_contention_hurts_monotonically() {
+        let mut prev = f64::INFINITY;
+        for c in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let w = CriticalSectionWorkload::new(f(0.95), 0.3, c).unwrap();
+            let s = w.speedup_symmetric(256.0).unwrap().get();
+            assert!(s <= prev + 1e-12, "contention {c}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn heterogeneous_without_critical_sections_matches_base_model() {
+        let u = UCore::new(10.0, 0.5).unwrap();
+        let law = PollackLaw::default();
+        let w = CriticalSectionWorkload::new(f(0.99), 0.0, 1.0).unwrap();
+        let with_cs = w
+            .speedup_heterogeneous(19.0, 2.0, &u, 1.0, &law)
+            .unwrap()
+            .get();
+        let base = crate::speedup::heterogeneous(f(0.99), 19.0, 2.0, &u, &law)
+            .unwrap()
+            .get();
+        assert!((with_cs - base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn big_sequential_core_helps_contended_workloads() {
+        // The Hill-Marty moral survives the extension: contended critical
+        // sections run on the sequential core, so a contended workload
+        // prefers a beefier one.
+        let u = UCore::new(10.0, 0.5).unwrap();
+        let law = PollackLaw::default();
+        let contended = CriticalSectionWorkload::new(f(0.99), 0.5, 0.8).unwrap();
+        let small_r = contended
+            .speedup_heterogeneous(64.0, 1.0, &u, 1.0, &law)
+            .unwrap()
+            .get();
+        let big_r = contended
+            .speedup_heterogeneous(64.0, 16.0, &u, 1.0, &law)
+            .unwrap()
+            .get();
+        assert!(big_r > small_r);
+    }
+
+    #[test]
+    fn cs_accelerator_recovers_lost_speedup() {
+        // Section 6.3's suggestion: pipeline irregular critical sections
+        // on reconfigurable fabric.
+        let u = UCore::new(10.0, 0.5).unwrap();
+        let law = PollackLaw::default();
+        let w = CriticalSectionWorkload::new(f(0.99), 0.5, 0.8).unwrap();
+        let plain = w
+            .speedup_heterogeneous(64.0, 4.0, &u, 1.0, &law)
+            .unwrap()
+            .get();
+        let accelerated = w
+            .speedup_heterogeneous(64.0, 4.0, &u, 8.0, &law)
+            .unwrap()
+            .get();
+        assert!(accelerated > 1.5 * plain);
+    }
+
+    #[test]
+    fn rejects_out_of_range_parameters() {
+        assert!(CriticalSectionWorkload::new(f(0.9), 1.5, 0.5).is_err());
+        assert!(CriticalSectionWorkload::new(f(0.9), 0.5, -0.1).is_err());
+        assert!(CriticalSectionWorkload::new(f(0.9), f64::NAN, 0.5).is_err());
+        let w = CriticalSectionWorkload::new(f(0.9), 0.5, 0.5).unwrap();
+        assert!(w.speedup_symmetric(0.0).is_err());
+        let u = UCore::bce_equivalent();
+        let law = PollackLaw::default();
+        assert!(w.speedup_heterogeneous(4.0, 8.0, &u, 1.0, &law).is_err());
+        assert!(w.speedup_heterogeneous(4.0, 4.0, &u, 1.0, &law).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Gustafson's scaled-speedup extension.
+//!
+//! Amdahl's Law fixes the problem size; Gustafson ("Reevaluating Amdahl's
+//! Law") instead fixes the execution *time* and lets the parallel part of
+//! the problem grow with the machine. The paper cites this model in its
+//! related work as one of the proposed extensions; it is provided here so
+//! users can contrast fixed-size and scaled-size projections.
+
+use crate::error::{ensure_positive, ModelError};
+use crate::units::{ParallelFraction, Speedup};
+
+/// Gustafson's scaled speedup: with `f` the parallel fraction of the
+/// *scaled* workload's execution time on the parallel machine and `s` the
+/// parallel-phase performance, the work completed relative to a serial
+/// machine is
+///
+/// `Scaled speedup = (1 − f) + f·s`
+///
+/// ```
+/// use ucore_core::{scaled_speedup, ParallelFraction};
+/// let f = ParallelFraction::new(0.9)?;
+/// let s = scaled_speedup(f, 100.0)?;
+/// assert!((s.get() - 90.1).abs() < 1e-9);
+/// # Ok::<(), ucore_core::ModelError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`ModelError::NonPositive`] if `s` is not positive and finite.
+pub fn scaled_speedup(f: ParallelFraction, s: f64) -> Result<Speedup, ModelError> {
+    ensure_positive("s", s)?;
+    Speedup::new(f.serial() + f.get() * s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speedup::amdahl;
+
+    fn f(v: f64) -> ParallelFraction {
+        ParallelFraction::new(v).unwrap()
+    }
+
+    #[test]
+    fn serial_workload_sees_no_gain() {
+        let s = scaled_speedup(f(0.0), 1000.0).unwrap();
+        assert!((s.get() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_parallelism_scales_linearly() {
+        let s = scaled_speedup(f(1.0), 64.0).unwrap();
+        assert!((s.get() - 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gustafson_dominates_amdahl_for_large_s() {
+        // Scaled speedup grows without bound; Amdahl saturates at
+        // 1/(1 - f).
+        for &fv in &[0.5, 0.9, 0.99] {
+            let g = scaled_speedup(f(fv), 1000.0).unwrap().get();
+            let a = amdahl(f(fv), 1000.0).unwrap().get();
+            assert!(g > a, "f = {fv}");
+        }
+    }
+
+    #[test]
+    fn agree_at_unit_acceleration() {
+        for &fv in &[0.0, 0.3, 1.0] {
+            let g = scaled_speedup(f(fv), 1.0).unwrap().get();
+            let a = amdahl(f(fv), 1.0).unwrap().get();
+            assert!((g - a).abs() < 1e-12);
+            assert!((g - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_s() {
+        assert!(scaled_speedup(f(0.5), 0.0).is_err());
+        assert!(scaled_speedup(f(0.5), f64::NAN).is_err());
+    }
+}

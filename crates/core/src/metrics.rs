@@ -1,0 +1,109 @@
+//! Derived figures of merit: performance per watt and energy-delay product.
+//!
+//! Woo and Lee's extension of Amdahl's Law argues for judging many-core
+//! designs by `perf/W` and related metrics rather than raw speedup; these
+//! helpers make those comparisons convenient on top of the model's
+//! evaluations.
+
+use crate::chip::ChipSpec;
+use crate::error::ModelError;
+use crate::units::ParallelFraction;
+
+/// Average performance per watt of design `(n, r)` over a whole workload
+/// execution, in BCE-performance per BCE-power.
+///
+/// Computed as (work done) / (energy consumed) = speedup / energy, which
+/// equals the time-weighted average of phase `perf/W` ratios.
+///
+/// ```
+/// use ucore_core::{perf_per_watt, ChipSpec, ParallelFraction, UCore};
+/// let f = ParallelFraction::new(0.99)?;
+/// let asic = ChipSpec::heterogeneous(UCore::new(27.4, 0.79)?);
+/// let cmp = ChipSpec::asymmetric_offload();
+/// let ppw_asic = perf_per_watt(&asic, f, 19.0, 1.0)?;
+/// let ppw_cmp = perf_per_watt(&cmp, f, 19.0, 1.0)?;
+/// assert!(ppw_asic > ppw_cmp);
+/// # Ok::<(), ucore_core::ModelError>(())
+/// ```
+///
+/// # Errors
+///
+/// Propagates validation errors from the underlying model.
+pub fn perf_per_watt(
+    spec: &ChipSpec,
+    f: ParallelFraction,
+    n: f64,
+    r: f64,
+) -> Result<f64, ModelError> {
+    let energy = crate::energy::EnergyModel::at_reference_node()
+        .breakdown(spec, f, n, r)?
+        .total();
+    let speedup = spec.speedup(f, n, r)?;
+    Ok(speedup.get() / energy)
+}
+
+/// Energy-delay product of design `(n, r)`: total energy times execution
+/// time, both normalized to one BCE.
+///
+/// Lower is better; one BCE scores exactly 1.
+///
+/// # Errors
+///
+/// Propagates validation errors from the underlying model.
+pub fn energy_delay_product(
+    spec: &ChipSpec,
+    f: ParallelFraction,
+    n: f64,
+    r: f64,
+) -> Result<f64, ModelError> {
+    let breakdown =
+        crate::energy::EnergyModel::at_reference_node().breakdown(spec, f, n, r)?;
+    Ok(breakdown.energy_delay())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ucore::UCore;
+
+    fn f(v: f64) -> ParallelFraction {
+        ParallelFraction::new(v).unwrap()
+    }
+
+    #[test]
+    fn bce_scores_unity_on_both_metrics() {
+        let spec = ChipSpec::asymmetric_offload();
+        // (n, r) = (2, 1) with one parallel BCE behaves like a BCE overall.
+        let ppw = perf_per_watt(&spec, f(0.5), 2.0, 1.0).unwrap();
+        assert!((ppw - 1.0).abs() < 1e-12);
+        let edp = energy_delay_product(&spec, f(0.5), 2.0, 1.0).unwrap();
+        assert!((edp - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficient_ucore_improves_perf_per_watt() {
+        let u = UCore::new(10.0, 0.5).unwrap();
+        let het = ChipSpec::heterogeneous(u);
+        let cmp = ChipSpec::asymmetric_offload();
+        let ppw_het = perf_per_watt(&het, f(0.99), 16.0, 1.0).unwrap();
+        let ppw_cmp = perf_per_watt(&cmp, f(0.99), 16.0, 1.0).unwrap();
+        assert!(ppw_het > ppw_cmp);
+    }
+
+    #[test]
+    fn edp_rewards_speed_even_at_equal_energy() {
+        // Two asymmetric-offload designs with different n: same parallel
+        // energy, but the bigger one is faster, so lower EDP.
+        let spec = ChipSpec::asymmetric_offload();
+        let edp_small = energy_delay_product(&spec, f(0.9), 4.0, 1.0).unwrap();
+        let edp_large = energy_delay_product(&spec, f(0.9), 64.0, 1.0).unwrap();
+        assert!(edp_large < edp_small);
+    }
+
+    #[test]
+    fn metrics_propagate_validation_errors() {
+        let spec = ChipSpec::asymmetric_offload();
+        assert!(perf_per_watt(&spec, f(0.5), 1.0, 2.0).is_err());
+        assert!(energy_delay_product(&spec, f(0.5), 1.0, 2.0).is_err());
+    }
+}

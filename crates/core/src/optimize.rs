@@ -1,0 +1,313 @@
+//! Sequential-core sizing: the paper's `r` sweep.
+//!
+//! "To determine the optimal size of the sequential core, we sweep all
+//! values of r (sequential core size) up to 16 for each particular design
+//! point and report the maximum speedup."
+//!
+//! For every candidate `r` the optimizer resolves the usable `n` from the
+//! Table 1 bounds (speedup is monotone in `n`, so using every permitted
+//! BCE is always optimal for the speedup objective) and evaluates the
+//! design; infeasible `r` values (serial bounds violated, or no room left
+//! for parallel resources) are skipped.
+
+use crate::bounds::BoundSet;
+use crate::budget::Budgets;
+use crate::chip::{ChipSpec, Evaluation};
+use crate::energy::EnergyModel;
+use crate::error::{ensure_positive, ModelError};
+use crate::units::ParallelFraction;
+use serde::{Deserialize, Serialize};
+
+/// What the optimizer maximizes or minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Objective {
+    /// Maximize speedup (the paper's objective).
+    MaxSpeedup,
+    /// Minimize total energy per workload execution.
+    MinEnergy,
+    /// Minimize the energy-delay product.
+    MinEnergyDelay,
+}
+
+/// The best design found by an [`Optimizer`] sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptimalDesign {
+    /// The evaluation of the winning design (speedup, limiter, `n`, `r`).
+    pub evaluation: Evaluation,
+    /// Total energy of the winning design at the reference node
+    /// (BCE-energy units).
+    pub energy: f64,
+}
+
+/// Sweeps sequential-core sizes and reports the best design.
+///
+/// ```
+/// use ucore_core::{Budgets, ChipSpec, Optimizer, ParallelFraction};
+/// let opt = Optimizer::paper_default();
+/// let budgets = Budgets::new(19.0, 7.4, 100.0)?;
+/// let f = ParallelFraction::new(0.9)?;
+/// let best = opt.optimize(&ChipSpec::asymmetric_offload(), &budgets, f)?;
+/// assert!(best.evaluation.r >= 1.0 && best.evaluation.r <= 16.0);
+/// # Ok::<(), ucore_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Optimizer {
+    r_min: f64,
+    r_max: f64,
+    r_step: f64,
+    objective: Objective,
+}
+
+impl Optimizer {
+    /// The paper's sweep: integer `r` from 1 to 16, maximizing speedup.
+    pub fn paper_default() -> Self {
+        Optimizer {
+            r_min: 1.0,
+            r_max: 16.0,
+            r_step: 1.0,
+            objective: Objective::MaxSpeedup,
+        }
+    }
+
+    /// Creates a sweep over `[r_min, r_max]` with the given step.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `0 < r_min ≤ r_max` and `r_step > 0`.
+    pub fn new(r_min: f64, r_max: f64, r_step: f64) -> Result<Self, ModelError> {
+        ensure_positive("r_min", r_min)?;
+        ensure_positive("r_max", r_max)?;
+        ensure_positive("r_step", r_step)?;
+        if r_min > r_max {
+            return Err(ModelError::Infeasible {
+                reason: format!("empty r sweep: r_min = {r_min} > r_max = {r_max}"),
+            });
+        }
+        Ok(Optimizer {
+            r_min,
+            r_max,
+            r_step,
+            objective: Objective::MaxSpeedup,
+        })
+    }
+
+    /// Returns a copy with a different objective.
+    pub fn with_objective(&self, objective: Objective) -> Self {
+        Optimizer { objective, ..*self }
+    }
+
+    /// The upper end of the `r` sweep.
+    pub fn r_max(&self) -> f64 {
+        self.r_max
+    }
+
+    /// The sweep step.
+    pub fn r_step(&self) -> f64 {
+        self.r_step
+    }
+
+    /// The optimization objective.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// The candidate `r` values of this sweep.
+    pub fn candidates(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut r = self.r_min;
+        while r <= self.r_max + 1e-9 {
+            out.push(r.min(self.r_max));
+            r += self.r_step;
+        }
+        out
+    }
+
+    /// Finds the best design for `spec` under `budgets` at parallel
+    /// fraction `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Infeasible`] if *no* swept `r` yields a
+    /// feasible design (for instance when the serial power bound rejects
+    /// even `r = r_min`).
+    pub fn optimize(
+        &self,
+        spec: &ChipSpec,
+        budgets: &Budgets,
+        f: ParallelFraction,
+    ) -> Result<OptimalDesign, ModelError> {
+        let energy_model = EnergyModel::at_reference_node();
+        let mut best: Option<OptimalDesign> = None;
+        for r in self.candidates() {
+            let Ok(bounds) = BoundSet::compute(spec, budgets, r) else {
+                continue;
+            };
+            // Use every BCE the tightest bound permits, but never fewer
+            // than the sequential core itself occupies.
+            let n = bounds.n_max().max(r);
+            // Designs with no parallel resources cannot run parallel work.
+            if f.get() > 0.0 && spec.parallel_perf(n, r) <= 0.0 {
+                continue;
+            }
+            let Ok(evaluation) = spec.evaluate(f, n, r, budgets) else {
+                continue;
+            };
+            let Ok(breakdown) = energy_model.breakdown(spec, f, n, r) else {
+                continue;
+            };
+            let candidate = OptimalDesign {
+                evaluation,
+                energy: breakdown.total(),
+            };
+            let better = match &best {
+                None => true,
+                Some(b) => match self.objective {
+                    Objective::MaxSpeedup => {
+                        candidate.evaluation.speedup > b.evaluation.speedup
+                    }
+                    Objective::MinEnergy => candidate.energy < b.energy,
+                    Objective::MinEnergyDelay => {
+                        candidate.energy * candidate.evaluation.speedup.time()
+                            < b.energy * b.evaluation.speedup.time()
+                    }
+                },
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+        best.ok_or_else(|| ModelError::Infeasible {
+            reason: format!(
+                "no feasible design for {} under {budgets} at {f}",
+                spec.kind()
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ucore::UCore;
+
+    fn f(v: f64) -> ParallelFraction {
+        ParallelFraction::new(v).unwrap()
+    }
+
+    #[test]
+    fn paper_default_matches_section_six() {
+        let opt = Optimizer::paper_default();
+        assert_eq!(opt.r_max(), 16.0);
+        assert_eq!(opt.r_step(), 1.0);
+        assert_eq!(opt.objective(), Objective::MaxSpeedup);
+        assert_eq!(opt.candidates().len(), 16);
+    }
+
+    #[test]
+    fn candidates_cover_range() {
+        let opt = Optimizer::new(1.0, 4.0, 0.5).unwrap();
+        let c = opt.candidates();
+        assert_eq!(c.first().copied(), Some(1.0));
+        assert_eq!(c.last().copied(), Some(4.0));
+        assert_eq!(c.len(), 7);
+    }
+
+    #[test]
+    fn serial_workload_prefers_biggest_core() {
+        // With f = 0 the only thing that matters is perf(r): r = 16 wins
+        // when power permits.
+        let opt = Optimizer::paper_default();
+        let budgets = Budgets::new(64.0, 100.0, 100.0).unwrap();
+        let best = opt
+            .optimize(&ChipSpec::asymmetric_offload(), &budgets, f(0.0))
+            .unwrap();
+        assert_eq!(best.evaluation.r, 16.0);
+    }
+
+    #[test]
+    fn perfectly_parallel_workload_prefers_smallest_core() {
+        let opt = Optimizer::paper_default();
+        let budgets = Budgets::new(64.0, 1000.0, 1000.0).unwrap();
+        let best = opt
+            .optimize(&ChipSpec::asymmetric_offload(), &budgets, f(1.0))
+            .unwrap();
+        assert_eq!(best.evaluation.r, 1.0);
+    }
+
+    #[test]
+    fn optimum_is_at_least_any_feasible_point() {
+        let opt = Optimizer::paper_default();
+        let budgets = Budgets::new(75.0, 14.7, 441.0).unwrap();
+        let spec = ChipSpec::heterogeneous(UCore::new(8.47, 1.27).unwrap());
+        let best = opt.optimize(&spec, &budgets, f(0.99)).unwrap();
+        for r in 1..=16 {
+            let Ok(bounds) = BoundSet::compute(&spec, &budgets, r as f64) else {
+                continue;
+            };
+            let n = bounds.n_max().max(r as f64);
+            let Ok(s) = spec.speedup(f(0.99), n, r as f64) else {
+                continue;
+            };
+            assert!(best.evaluation.speedup.get() + 1e-9 >= s.get(), "r = {r}");
+        }
+    }
+
+    #[test]
+    fn infeasible_when_power_rejects_all_r() {
+        // P = 0.5: even r = 1 needs power 1 in the serial phase.
+        let opt = Optimizer::paper_default();
+        let budgets = Budgets::new(64.0, 0.5, 100.0).unwrap();
+        let err = opt
+            .optimize(&ChipSpec::symmetric(), &budgets, f(0.5))
+            .unwrap_err();
+        assert!(matches!(err, ModelError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn min_energy_objective_prefers_small_core() {
+        let opt = Optimizer::paper_default().with_objective(Objective::MinEnergy);
+        let budgets = Budgets::new(64.0, 100.0, 1000.0).unwrap();
+        let best = opt
+            .optimize(&ChipSpec::asymmetric_offload(), &budgets, f(0.5))
+            .unwrap();
+        // Serial energy grows with r, parallel energy is r-independent.
+        assert_eq!(best.evaluation.r, 1.0);
+    }
+
+    #[test]
+    fn min_energy_delay_balances_speed_and_energy() {
+        let opt = Optimizer::paper_default().with_objective(Objective::MinEnergyDelay);
+        let budgets = Budgets::new(64.0, 100.0, 1000.0).unwrap();
+        let best = opt
+            .optimize(&ChipSpec::asymmetric_offload(), &budgets, f(0.5))
+            .unwrap();
+        // EDP favors some sequential performance at f = 0.5: bigger than
+        // the pure-energy optimum.
+        assert!(best.evaluation.r >= 1.0);
+        let energy_best = opt
+            .with_objective(Objective::MinEnergy)
+            .optimize(&ChipSpec::asymmetric_offload(), &budgets, f(0.5))
+            .unwrap();
+        assert!(best.evaluation.r >= energy_best.evaluation.r);
+    }
+
+    #[test]
+    fn rejects_bad_sweep_parameters() {
+        assert!(Optimizer::new(0.0, 16.0, 1.0).is_err());
+        assert!(Optimizer::new(4.0, 2.0, 1.0).is_err());
+        assert!(Optimizer::new(1.0, 16.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn power_limited_chip_reports_power_limiter() {
+        use crate::bounds::Limiter;
+        let opt = Optimizer::paper_default();
+        // Plenty of area/bandwidth, tight power.
+        let budgets = Budgets::new(298.0, 10.0, 10_000.0).unwrap();
+        let best = opt
+            .optimize(&ChipSpec::asymmetric_offload(), &budgets, f(0.99))
+            .unwrap();
+        assert_eq!(best.evaluation.limiter, Limiter::Power);
+        assert!(best.evaluation.n < 298.0);
+    }
+}

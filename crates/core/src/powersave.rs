@@ -1,0 +1,225 @@
+//! Iso-performance power reduction (the paper's §6.3 discussion).
+//!
+//! "If the goal is to achieve the same level of performance as a
+//! baseline system with processors, a U-core can be used to speed up
+//! parallel sections of an application while allowing the sequential
+//! processor to slow down with a significant reduction in power."
+//!
+//! Given a baseline design's speedup, this module finds the
+//! *cheapest-power* heterogeneous design that still meets it: the
+//! sequential core shrinks (saving `r^(α/2)` superlinearly) while the
+//! U-cores carry the parallel work.
+
+use crate::bounds::BoundSet;
+use crate::budget::Budgets;
+use crate::chip::ChipSpec;
+use crate::error::ModelError;
+use crate::units::{ParallelFraction, Speedup};
+use serde::{Deserialize, Serialize};
+
+/// A design meeting a performance target at minimal peak power.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IsoPerformanceDesign {
+    /// The achieved speedup (≥ the target).
+    pub speedup: Speedup,
+    /// Sequential-core size.
+    pub r: f64,
+    /// Total resources used.
+    pub n: f64,
+    /// Peak power across phases, in BCE units.
+    pub peak_power: f64,
+}
+
+/// Peak power of a design across its two phases.
+fn peak_power(spec: &ChipSpec, n: f64, r: f64, f: ParallelFraction) -> f64 {
+    let serial = spec.serial_power(r);
+    if f.get() > 0.0 {
+        serial.max(spec.parallel_power(n, r))
+    } else {
+        serial
+    }
+}
+
+/// Finds the minimum-peak-power design of `spec` that meets `target`
+/// speedup on a workload with parallel fraction `f`, subject to
+/// `budgets` (use generous budgets to explore unconstrained designs).
+///
+/// The search sweeps `r` on a fine grid and, for each `r`, uses the
+/// smallest `n` that meets the target (power grows with `n`, so the
+/// smallest feasible `n` is power-optimal for that `r`).
+///
+/// # Errors
+///
+/// Returns [`ModelError::Infeasible`] if no design within the budgets
+/// meets the target.
+pub fn min_power_for_target(
+    spec: &ChipSpec,
+    budgets: &Budgets,
+    f: ParallelFraction,
+    target: Speedup,
+) -> Result<IsoPerformanceDesign, ModelError> {
+    let mut best: Option<IsoPerformanceDesign> = None;
+    let mut r = 0.25;
+    while r <= 16.0 + 1e-9 {
+        let Ok(bounds) = BoundSet::compute(spec, budgets, r) else {
+            r += 0.25;
+            continue;
+        };
+        let n_max = bounds.n_max();
+        // Smallest n meeting the target: solve the speedup formula for
+        // the parallel term, then verify.
+        if let Some(n) = smallest_n_for_target(spec, f, r, target, n_max) {
+            let speedup = spec.speedup(f, n, r)?;
+            let power = peak_power(spec, n, r, f);
+            if best.as_ref().is_none_or(|b| power < b.peak_power) {
+                best = Some(IsoPerformanceDesign { speedup, r, n, peak_power: power });
+            }
+        }
+        r += 0.25;
+    }
+    best.ok_or_else(|| ModelError::Infeasible {
+        reason: format!("no design meets a {target} target under {budgets}"),
+    })
+}
+
+/// The smallest `n ∈ [r, n_max]` for which the design meets the target,
+/// found by bisection (speedup is monotone in `n`).
+fn smallest_n_for_target(
+    spec: &ChipSpec,
+    f: ParallelFraction,
+    r: f64,
+    target: Speedup,
+    n_max: f64,
+) -> Option<f64> {
+    let meets = |n: f64| {
+        spec.speedup(f, n, r)
+            .map(|s| s.get() + 1e-12 >= target.get())
+            .unwrap_or(false)
+    };
+    if !meets(n_max) {
+        return None;
+    }
+    let mut lo = r;
+    let mut hi = n_max;
+    if meets(lo) {
+        return Some(lo);
+    }
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if meets(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+/// The §6.3 headline: how much power a heterogeneous chip saves while
+/// matching a baseline design's performance.
+///
+/// Returns `(baseline_power, het_power, reduction_factor)`.
+///
+/// # Errors
+///
+/// Propagates infeasibility from either side.
+pub fn power_reduction_vs_baseline(
+    baseline: &ChipSpec,
+    baseline_n: f64,
+    baseline_r: f64,
+    het: &ChipSpec,
+    budgets: &Budgets,
+    f: ParallelFraction,
+) -> Result<(f64, f64, f64), ModelError> {
+    let target = baseline.speedup(f, baseline_n, baseline_r)?;
+    let base_power = peak_power(baseline, baseline_n, baseline_r, f);
+    let design = min_power_for_target(het, budgets, f, target)?;
+    Ok((base_power, design.peak_power, base_power / design.peak_power))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ucore::UCore;
+
+    fn f(v: f64) -> ParallelFraction {
+        ParallelFraction::new(v).unwrap()
+    }
+
+    fn generous() -> Budgets {
+        Budgets::new(1e4, 1e4, 1e6).unwrap()
+    }
+
+    #[test]
+    fn found_design_meets_target() {
+        let het = ChipSpec::heterogeneous(UCore::new(10.0, 0.5).unwrap());
+        let target = Speedup::new(8.0).unwrap();
+        let d = min_power_for_target(&het, &generous(), f(0.99), target).unwrap();
+        assert!(d.speedup.get() + 1e-9 >= 8.0);
+        assert!(d.peak_power > 0.0);
+    }
+
+    #[test]
+    fn efficient_ucore_cuts_power_vs_cmp_baseline() {
+        // A 16-BCE asymmetric-offload CMP vs an ASIC-like u-core chip
+        // matching its performance: the paper's power-saving story.
+        let cmp = ChipSpec::asymmetric_offload();
+        let het = ChipSpec::heterogeneous(UCore::new(27.4, 0.79).unwrap());
+        let (base, saved, factor) =
+            power_reduction_vs_baseline(&cmp, 16.0, 4.0, &het, &generous(), f(0.99))
+                .unwrap();
+        assert!(saved < base, "het {saved} should undercut cmp {base}");
+        assert!(factor > 2.0, "reduction was only {factor}x");
+    }
+
+    #[test]
+    fn unreachable_target_is_infeasible() {
+        let het = ChipSpec::heterogeneous(UCore::new(2.0, 1.0).unwrap());
+        let tight = Budgets::new(8.0, 8.0, 8.0).unwrap();
+        let err = min_power_for_target(
+            &het,
+            &tight,
+            f(0.9),
+            Speedup::new(1000.0).unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn serial_workload_saves_by_shrinking_the_core() {
+        // With f = 0, the minimum-power design matching a sqrt(4) = 2x
+        // target is exactly r = 4 — no parallel resources needed.
+        let het = ChipSpec::heterogeneous(UCore::new(100.0, 0.1).unwrap());
+        let d = min_power_for_target(
+            &het,
+            &generous(),
+            f(0.0),
+            Speedup::new(2.0).unwrap(),
+        )
+        .unwrap();
+        assert!((d.r - 4.0).abs() < 0.3, "r = {}", d.r);
+        assert!((d.peak_power - d.r.powf(0.875)).abs() < 0.2);
+    }
+
+    #[test]
+    fn higher_target_costs_more_power() {
+        let het = ChipSpec::heterogeneous(UCore::new(10.0, 0.5).unwrap());
+        let low = min_power_for_target(&het, &generous(), f(0.99), Speedup::new(4.0).unwrap())
+            .unwrap();
+        let high =
+            min_power_for_target(&het, &generous(), f(0.99), Speedup::new(16.0).unwrap())
+                .unwrap();
+        assert!(high.peak_power > low.peak_power);
+    }
+
+    #[test]
+    fn smallest_n_is_tight() {
+        let het = ChipSpec::heterogeneous(UCore::new(10.0, 1.0).unwrap());
+        let target = Speedup::new(9.9).unwrap();
+        let d = min_power_for_target(&het, &generous(), f(1.0), target).unwrap();
+        // At f = 1, speedup = mu (n - r): n - r ≈ 0.99.
+        assert!((d.speedup.get() - 9.9).abs() < 0.01);
+        assert!(d.n - d.r < 1.1);
+    }
+}

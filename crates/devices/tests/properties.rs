@@ -1,0 +1,74 @@
+//! Property-based tests over the device catalog and node arithmetic.
+
+use proptest::prelude::*;
+use ucore_devices::{BceReference, Catalog, FpgaAreaModel, TechNode};
+
+fn any_node() -> impl Strategy<Value = TechNode> {
+    prop::sample::select(TechNode::ALL.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn area_scaling_composes(a in any_node(), b in any_node(), c in any_node()) {
+        // scale(a->b) * scale(b->c) = scale(a->c).
+        let direct = a.area_scale_to(c);
+        let via = a.area_scale_to(b) * b.area_scale_to(c);
+        prop_assert!((direct - via).abs() < 1e-12 * direct.max(1.0));
+    }
+
+    #[test]
+    fn area_scaling_inverts(a in any_node(), b in any_node()) {
+        let round_trip = a.area_scale_to(b) * b.area_scale_to(a);
+        prop_assert!((round_trip - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn newer_nodes_shrink_area(a in any_node(), b in any_node()) {
+        if b < a {
+            prop_assert!(a.area_scale_to(b) < 1.0);
+        }
+        if b == a {
+            prop_assert_eq!(a.area_scale_to(b), 1.0);
+        }
+    }
+
+    #[test]
+    fn fpga_area_is_linear_and_invertible(luts in 1u64..10_000_000) {
+        let m = FpgaAreaModel::paper();
+        let area = m.area_mm2(luts).unwrap();
+        prop_assert!(area > 0.0);
+        // Inversion is exact up to one LUT of floor-induced float error.
+        let back = m.luts_in_area(area);
+        prop_assert!(back.abs_diff(luts) <= 1, "{luts} -> {back}");
+        let double = m.area_mm2(luts * 2).unwrap();
+        prop_assert!((double - 2.0 * area).abs() < 1e-9 * area);
+    }
+
+    #[test]
+    fn bce_counts_scale_linearly(area in 1.0f64..10_000.0) {
+        let bce = BceReference::paper();
+        let n = bce.bce_in_area(area);
+        let n2 = bce.bce_in_area(2.0 * area);
+        prop_assert!((n2 - 2.0 * n).abs() < 1e-9 * n);
+        prop_assert!(n > 0.0);
+    }
+
+    #[test]
+    fn i7_core_power_exceeds_perf_superlinearly(alpha in 1.0f64..3.0) {
+        let bce = BceReference::paper();
+        // With r = 2 > 1 and alpha > 1: power ratio exceeds perf ratio.
+        prop_assert!(bce.i7_core_power(alpha) >= bce.i7_core_perf() - 1e-12);
+    }
+}
+
+#[test]
+fn catalog_is_internally_consistent() {
+    let c = Catalog::paper();
+    for d in c.devices() {
+        if let (Some(die), Some(core)) = (d.die_area_mm2(), d.core_area_mm2()) {
+            assert!(core <= die, "{}: core exceeds die", d.id());
+        }
+        let (lo, hi) = d.voltage_range_v();
+        assert!(lo <= hi, "{}", d.id());
+    }
+}

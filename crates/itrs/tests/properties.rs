@@ -1,0 +1,57 @@
+//! Property-based tests over the roadmap and trend series.
+
+use proptest::prelude::*;
+use ucore_itrs::{Roadmap, Trend, TrendSeries};
+
+proptest! {
+    #[test]
+    fn at_year_stays_within_neighbor_bounds(year in 2011u32..=2022) {
+        let r = Roadmap::itrs_2009();
+        let p = r.at_year(year).unwrap();
+        let nodes = r.nodes();
+        let lo = nodes.iter().rev().find(|n| n.year <= year).unwrap();
+        let hi = nodes.iter().find(|n| n.year >= year).unwrap();
+        prop_assert!(p.max_area_bce >= lo.max_area_bce - 1e-9);
+        prop_assert!(p.max_area_bce <= hi.max_area_bce + 1e-9);
+        prop_assert!(p.bandwidth_gb_s >= lo.bandwidth_gb_s - 1e-9);
+        prop_assert!(p.bandwidth_gb_s <= hi.bandwidth_gb_s + 1e-9);
+        prop_assert!(p.rel_power_per_transistor <= lo.rel_power_per_transistor + 1e-9);
+        prop_assert!(p.rel_power_per_transistor >= hi.rel_power_per_transistor - 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_scenarios_scale_uniformly(start in 10.0f64..2000.0) {
+        let r = Roadmap::itrs_2009().with_bandwidth_gb_s(start);
+        for node in r.nodes() {
+            prop_assert!((node.bandwidth_gb_s - start * node.rel_bandwidth).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn power_scenarios_apply_everywhere(watts in 1.0f64..1000.0) {
+        let r = Roadmap::itrs_2009().with_power_budget_w(watts);
+        for node in r.nodes() {
+            prop_assert_eq!(node.core_power_budget_w, watts);
+        }
+    }
+
+    #[test]
+    fn area_scenarios_preserve_density_ratios(mm2 in 50.0f64..1000.0) {
+        let base = Roadmap::itrs_2009();
+        let scaled = base.with_core_area_mm2(mm2);
+        for (b, s) in base.nodes().iter().zip(scaled.nodes()) {
+            let expect = b.max_area_bce * mm2 / b.core_die_budget_mm2;
+            prop_assert!((s.max_area_bce - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn trend_series_values_are_positive_and_bounded(year in 2011u32..=2022) {
+        for trend in Trend::ALL {
+            let s = TrendSeries::itrs_2009(trend);
+            let v = s.at(year).unwrap();
+            prop_assert!(v > 0.0);
+            prop_assert!(v < 2.0, "{}: {v}", trend.label());
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! The `(µ, φ)` U-core design space (Section 3.3: "Together, µ and φ
+//! characterize a design space for U-cores").
+//!
+//! Given budgets and a parallel fraction, these tools map out what a
+//! *hypothetical* U-core would achieve — useful for asking the paper's
+//! designer questions in reverse: how efficient must a new fabric be to
+//! beat a GPU? past what µ does the bandwidth wall swallow further
+//! gains?
+
+use serde::{Deserialize, Serialize};
+use ucore_core::{
+    Budgets, ChipSpec, Limiter, ModelError, Optimizer, ParallelFraction, UCore,
+};
+
+/// One cell of a design-space sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignSpaceCell {
+    /// U-core relative performance.
+    pub mu: f64,
+    /// U-core relative power.
+    pub phi: f64,
+    /// Best achievable speedup (NaN if infeasible).
+    pub speedup: f64,
+    /// The binding resource at the optimum, if feasible.
+    pub limiter: Option<Limiter>,
+}
+
+/// A grid sweep over `(µ, φ)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignSpaceMap {
+    cells: Vec<DesignSpaceCell>,
+    mu_values: Vec<f64>,
+    phi_values: Vec<f64>,
+}
+
+impl DesignSpaceMap {
+    /// Sweeps a logarithmic `(µ, φ)` grid under the given budgets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NonPositive`] for empty or non-positive
+    /// ranges.
+    pub fn sweep(
+        budgets: &Budgets,
+        f: ParallelFraction,
+        mu_range: (f64, f64),
+        phi_range: (f64, f64),
+        steps: usize,
+    ) -> Result<Self, ModelError> {
+        for (what, value) in [
+            ("mu range", mu_range.0),
+            ("mu range", mu_range.1),
+            ("phi range", phi_range.0),
+            ("phi range", phi_range.1),
+        ] {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(ModelError::NonPositive { what, value });
+            }
+        }
+        let steps = steps.max(2);
+        let grid = |lo: f64, hi: f64| -> Vec<f64> {
+            (0..steps)
+                .map(|i| {
+                    let t = i as f64 / (steps - 1) as f64;
+                    (lo.ln() + t * (hi.ln() - lo.ln())).exp()
+                })
+                .collect()
+        };
+        let mu_values = grid(mu_range.0, mu_range.1);
+        let phi_values = grid(phi_range.0, phi_range.1);
+        let optimizer = Optimizer::paper_default();
+        let mut cells = Vec::with_capacity(steps * steps);
+        for &phi in &phi_values {
+            for &mu in &mu_values {
+                let spec = ChipSpec::heterogeneous(UCore::new(mu, phi)?);
+                match optimizer.optimize(&spec, budgets, f) {
+                    Ok(best) => cells.push(DesignSpaceCell {
+                        mu,
+                        phi,
+                        speedup: best.evaluation.speedup.get(),
+                        limiter: Some(best.evaluation.limiter),
+                    }),
+                    Err(_) => cells.push(DesignSpaceCell {
+                        mu,
+                        phi,
+                        speedup: f64::NAN,
+                        limiter: None,
+                    }),
+                }
+            }
+        }
+        Ok(DesignSpaceMap { cells, mu_values, phi_values })
+    }
+
+    /// All cells, row-major by φ then µ.
+    pub fn cells(&self) -> &[DesignSpaceCell] {
+        &self.cells
+    }
+
+    /// The swept µ axis.
+    pub fn mu_values(&self) -> &[f64] {
+        &self.mu_values
+    }
+
+    /// The swept φ axis.
+    pub fn phi_values(&self) -> &[f64] {
+        &self.phi_values
+    }
+
+    /// The cell nearest a `(µ, φ)` point.
+    pub fn nearest(&self, mu: f64, phi: f64) -> &DesignSpaceCell {
+        self.cells
+            .iter()
+            .min_by(|a, b| {
+                let da = (a.mu.ln() - mu.ln()).abs() + (a.phi.ln() - phi.ln()).abs();
+                let db = (b.mu.ln() - mu.ln()).abs() + (b.phi.ln() - phi.ln()).abs();
+                da.partial_cmp(&db).expect("distances are finite")
+            })
+            .expect("sweep grids are non-empty")
+    }
+}
+
+/// The smallest `µ` (at fixed `φ`) that reaches `target` speedup, found
+/// by bisection, or `None` if even an arbitrarily fast U-core cannot
+/// (the bandwidth wall or the serial fraction caps it).
+pub fn required_mu(
+    budgets: &Budgets,
+    f: ParallelFraction,
+    phi: f64,
+    target: f64,
+) -> Option<f64> {
+    let optimizer = Optimizer::paper_default();
+    let speedup_at = |mu: f64| -> Option<f64> {
+        let spec = ChipSpec::heterogeneous(UCore::new(mu, phi).ok()?);
+        optimizer
+            .optimize(&spec, budgets, f)
+            .ok()
+            .map(|b| b.evaluation.speedup.get())
+    };
+    let hi_cap = 1e9;
+    if speedup_at(hi_cap)? < target {
+        return None;
+    }
+    let mut lo = 1e-6f64;
+    let mut hi = hi_cap;
+    for _ in 0..200 {
+        let mid = (lo.ln() + (hi.ln() - lo.ln()) / 2.0).exp();
+        if speedup_at(mid).is_some_and(|s| s >= target) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+/// The `µ` at which further performance stops paying because the design
+/// becomes bandwidth-limited (at fixed `φ`): the paper's recurring
+/// observation that "flexible U-cores can keep up" past this point.
+/// Returns `None` if the design never hits the bandwidth wall within
+/// `µ ≤ 1e6` (e.g. the bandwidth-exempt ASIC MMM).
+pub fn bandwidth_wall_mu(budgets: &Budgets, f: ParallelFraction, phi: f64) -> Option<f64> {
+    let optimizer = Optimizer::paper_default();
+    let limiter_at = |mu: f64| -> Option<Limiter> {
+        let spec = ChipSpec::heterogeneous(UCore::new(mu, phi).ok()?);
+        optimizer
+            .optimize(&spec, budgets, f)
+            .ok()
+            .map(|b| b.evaluation.limiter)
+    };
+    if limiter_at(1e6)? != Limiter::Bandwidth {
+        return None;
+    }
+    let mut lo = 1e-6f64;
+    let mut hi = 1e6f64;
+    for _ in 0..200 {
+        let mid = (lo.ln() + (hi.ln() - lo.ln()) / 2.0).exp();
+        if limiter_at(mid) == Some(Limiter::Bandwidth) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(v: f64) -> ParallelFraction {
+        ParallelFraction::new(v).unwrap()
+    }
+
+    fn budgets() -> Budgets {
+        // 40 nm FFT-1024-style: A = 19, P ~ 8.7, B ~ 45.
+        Budgets::new(19.0, 8.7, 45.0).unwrap()
+    }
+
+    #[test]
+    fn map_covers_the_grid() {
+        let map =
+            DesignSpaceMap::sweep(&budgets(), f(0.99), (0.5, 500.0), (0.1, 10.0), 8)
+                .unwrap();
+        assert_eq!(map.cells().len(), 64);
+        assert_eq!(map.mu_values().len(), 8);
+        assert!(map.cells().iter().all(|c| c.speedup.is_finite()));
+    }
+
+    #[test]
+    fn speedup_monotone_in_mu_at_fixed_phi() {
+        let map =
+            DesignSpaceMap::sweep(&budgets(), f(0.99), (0.5, 500.0), (0.5, 0.5), 12)
+                .unwrap();
+        // Rows are laid out per phi; check monotonicity along one row.
+        let row = &map.cells()[..map.mu_values().len()];
+        let mut prev = 0.0;
+        for cell in row {
+            assert!(cell.speedup + 1e-9 >= prev, "mu = {}", cell.mu);
+            prev = cell.speedup;
+        }
+    }
+
+    #[test]
+    fn nearest_finds_the_right_cell() {
+        let map = DesignSpaceMap::sweep(&budgets(), f(0.9), (1.0, 100.0), (0.1, 10.0), 5)
+            .unwrap();
+        let c = map.nearest(100.0, 10.0);
+        assert_eq!(c.mu, *map.mu_values().last().unwrap());
+        assert_eq!(c.phi, *map.phi_values().last().unwrap());
+    }
+
+    #[test]
+    fn required_mu_is_tight() {
+        let b = budgets();
+        let mu = required_mu(&b, f(0.99), 0.5, 30.0).unwrap();
+        let opt = Optimizer::paper_default();
+        let at = |m: f64| {
+            opt.optimize(
+                &ChipSpec::heterogeneous(UCore::new(m, 0.5).unwrap()),
+                &b,
+                f(0.99),
+            )
+            .unwrap()
+            .evaluation
+            .speedup
+            .get()
+        };
+        assert!(at(mu) >= 30.0 - 1e-6);
+        assert!(at(mu * 0.9) < 30.0);
+    }
+
+    #[test]
+    fn unreachable_targets_return_none() {
+        // The bandwidth wall caps FFT-like speedups around B + serial
+        // contribution; 10,000x is unreachable at any mu.
+        assert!(required_mu(&budgets(), f(0.99), 0.5, 10_000.0).is_none());
+    }
+
+    #[test]
+    fn bandwidth_wall_exists_for_fft_like_budgets() {
+        let wall = bandwidth_wall_mu(&budgets(), f(0.99), 0.5).unwrap();
+        // Past the wall the limiter is bandwidth; below it, something
+        // else.
+        assert!(wall > 1.0 && wall < 100.0, "wall at {wall}");
+    }
+
+    #[test]
+    fn no_wall_when_bandwidth_is_abundant() {
+        let roomy = Budgets::new(19.0, 8.7, 1e12).unwrap();
+        assert!(bandwidth_wall_mu(&roomy, f(0.99), 0.5).is_none());
+    }
+
+    #[test]
+    fn gpu_vs_asic_moral_from_the_map() {
+        // The paper's FFT story read off the design space: the ASIC's
+        // enormous mu buys little over the GPU's because both sit past
+        // the bandwidth wall.
+        let b = budgets();
+        let opt = Optimizer::paper_default();
+        let gpu = opt
+            .optimize(
+                &ChipSpec::heterogeneous(UCore::new(2.88, 0.63).unwrap()),
+                &b,
+                f(0.99),
+            )
+            .unwrap()
+            .evaluation
+            .speedup
+            .get();
+        let asic = opt
+            .optimize(
+                &ChipSpec::heterogeneous(UCore::new(489.0, 4.96).unwrap()),
+                &b,
+                f(0.99),
+            )
+            .unwrap()
+            .evaluation
+            .speedup
+            .get();
+        assert!(asic / gpu < 1.5, "asic {asic} vs gpu {gpu}");
+    }
+}

@@ -1,0 +1,508 @@
+//! The projection engine.
+//!
+//! For each design (a CMP baseline or a U-core heterogeneous chip), each
+//! projection node, and each parallel fraction, the engine:
+//!
+//! 1. converts the node's Table 6 budgets into model units via the
+//!    workload's BCE calibration (`A` in BCE area, `P` in BCE power —
+//!    growing as power per transistor shrinks — and `B` in compulsory
+//!    bandwidth units);
+//! 2. sweeps the sequential-core size `r` up to the scenario limit,
+//!    takes the best speedup, and records which resource bound the
+//!    design (the paper's dashed/solid/unconnected distinction);
+//! 3. computes the design's normalized energy for the Figure 10 study.
+//!
+//! The ASIC MMM core is exempted from the bandwidth bound, as in the
+//! paper (its 40 nm design blocks at `N ≥ 2048` and needs almost no
+//! off-chip traffic).
+
+use crate::results::NodePoint;
+use crate::scenario::Scenario;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use ucore_calibrate::{BceCalibration, Table5, WorkloadColumn};
+use ucore_core::{
+    Budgets, ChipSpec, EnergyModel, Optimizer, ParallelFraction,
+};
+use ucore_devices::DeviceId;
+use ucore_itrs::NodeParams;
+use ucore_workloads::WorkloadKind;
+
+/// Errors raised while projecting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProjectionError {
+    /// Calibration failed (no measurement for the requested cell).
+    Calibration(String),
+    /// No feasible design existed at some node for a design that the
+    /// study expects to be plottable.
+    Infeasible {
+        /// Explanation from the model.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ProjectionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProjectionError::Calibration(msg) => write!(f, "calibration failed: {msg}"),
+            ProjectionError::Infeasible { reason } => f.write_str(reason),
+        }
+    }
+}
+
+impl Error for ProjectionError {}
+
+/// A design plotted in the projection figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DesignId {
+    /// `(0)` Symmetric CMP of i7-class cores.
+    SymCmp,
+    /// `(1)` Asymmetric CMP with the big core offloaded in parallel
+    /// phases.
+    AsymCmp,
+    /// `(2..6)` A heterogeneous chip built from the device's U-cores.
+    Het(DeviceId),
+}
+
+impl DesignId {
+    /// The label used in the figures' legends.
+    pub fn label(&self) -> String {
+        match self {
+            DesignId::SymCmp => "(0) SymCMP".into(),
+            DesignId::AsymCmp => "(1) AsymCMP".into(),
+            DesignId::Het(d) => {
+                format!("({}) {}", d.figure_index().unwrap_or(9), d.label())
+            }
+        }
+    }
+
+    /// The designs a figure plots for a workload column: both CMPs plus
+    /// every U-core device with a Table 5 entry for that column.
+    pub fn for_column(table5: &Table5, column: WorkloadColumn) -> Vec<DesignId> {
+        let mut designs = vec![DesignId::SymCmp, DesignId::AsymCmp];
+        for device in [
+            DeviceId::V6Lx760,
+            DeviceId::Gtx285,
+            DeviceId::Gtx480,
+            DeviceId::R5870,
+            DeviceId::Asic,
+        ] {
+            if table5.ucore(device, column).is_some() {
+                designs.push(DesignId::Het(device));
+            }
+        }
+        designs
+    }
+}
+
+impl fmt::Display for DesignId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// The projection engine for one scenario.
+#[derive(Debug, Clone)]
+pub struct ProjectionEngine {
+    scenario: Scenario,
+    table5: Table5,
+}
+
+impl ProjectionEngine {
+    /// Builds an engine, deriving Table 5 from the simulated lab.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProjectionError::Calibration`] if the lab cannot supply
+    /// the i7 baselines (never the case for the shipped data).
+    pub fn new(scenario: Scenario) -> Result<Self, ProjectionError> {
+        let table5 =
+            Table5::derive().map_err(|e| ProjectionError::Calibration(e.to_string()))?;
+        Ok(ProjectionEngine { scenario, table5 })
+    }
+
+    /// The engine's scenario.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The derived Table 5 the engine projects from.
+    pub fn table5(&self) -> &Table5 {
+        &self.table5
+    }
+
+    /// The chip spec for a design on a workload column.
+    ///
+    /// Returns `None` when the column has no published U-core for the
+    /// device.
+    pub fn chip_spec(&self, design: DesignId, column: WorkloadColumn) -> Option<ChipSpec> {
+        let spec = match design {
+            DesignId::SymCmp => ChipSpec::symmetric(),
+            DesignId::AsymCmp => ChipSpec::asymmetric_offload(),
+            DesignId::Het(device) => {
+                ChipSpec::heterogeneous(self.table5.ucore(device, column)?)
+            }
+        };
+        Some(spec.with_power_law(self.scenario.power_law()))
+    }
+
+    /// Whether the paper exempts this (design, column) pair from the
+    /// bandwidth bound.
+    pub fn bandwidth_exempt(design: DesignId, column: WorkloadColumn) -> bool {
+        matches!(
+            (design, column),
+            (DesignId::Het(DeviceId::Asic), WorkloadColumn::Mmm)
+        )
+    }
+
+    /// The model budgets for one node of the scenario's roadmap, in BCE
+    /// units for the given workload column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProjectionError::Calibration`] if the BCE cannot be
+    /// anchored for the column's workload.
+    pub fn budgets(
+        &self,
+        node: &NodeParams,
+        column: WorkloadColumn,
+        bandwidth_exempt: bool,
+    ) -> Result<Budgets, ProjectionError> {
+        let bce = BceCalibration::derive(column.workload())
+            .map_err(|e| ProjectionError::Calibration(e.to_string()))?;
+        let power = bce.power_budget_units(
+            node.core_power_budget_w,
+            node.rel_power_per_transistor,
+        );
+        let bandwidth = if bandwidth_exempt {
+            f64::MAX / 4.0
+        } else {
+            bce.bandwidth_budget_units(node.bandwidth_gb_s)
+        };
+        Budgets::new(node.max_area_bce, power, bandwidth)
+            .map_err(|e| ProjectionError::Infeasible { reason: e.to_string() })
+    }
+
+    /// Projects one design across every node of the roadmap at a given
+    /// parallel fraction. Nodes where no feasible design exists are
+    /// omitted (this happens under the 10 W scenario for power-hungry
+    /// configurations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProjectionError::Calibration`] for columns the design
+    /// cannot run (no Table 5 entry).
+    pub fn project(
+        &self,
+        design: DesignId,
+        column: WorkloadColumn,
+        f: ParallelFraction,
+    ) -> Result<Vec<NodePoint>, ProjectionError> {
+        let spec = self.chip_spec(design, column).ok_or_else(|| {
+            ProjectionError::Calibration(format!("no {column} u-core for {design}"))
+        })?;
+        let exempt = Self::bandwidth_exempt(design, column);
+        let optimizer = Optimizer::new(1.0, self.scenario.r_max(), 1.0)
+            .expect("scenario r_max is valid");
+        let mut points = Vec::new();
+        for node in self.scenario.roadmap().nodes() {
+            let budgets = self.budgets(node, column, exempt)?;
+            let Ok(best) = optimizer.optimize(&spec, &budgets, f) else {
+                continue;
+            };
+            // Normalized energy at this node: linear in the node's power
+            // scale.
+            let energy = EnergyModel::new(node.rel_power_per_transistor)
+                .expect("roadmap scales are valid")
+                .breakdown(&spec, f, best.evaluation.n, best.evaluation.r)
+                .map(|b| b.total())
+                .unwrap_or(f64::NAN);
+            points.push(NodePoint {
+                node: node.node,
+                speedup: best.evaluation.speedup.get(),
+                limiter: best.evaluation.limiter,
+                r: best.evaluation.r,
+                n: best.evaluation.n,
+                energy,
+            });
+        }
+        Ok(points)
+    }
+
+    /// Projects one design year by year (2011–2022) using the roadmap's
+    /// interpolated parameters — a finer-grained view than the paper's
+    /// node-granular figures, built on [`ucore_itrs::Roadmap::at_year`].
+    ///
+    /// Infeasible years are omitted, like infeasible nodes in
+    /// [`project`](Self::project).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProjectionError::Calibration`] for unpublished cells.
+    pub fn project_yearly(
+        &self,
+        design: DesignId,
+        column: WorkloadColumn,
+        f: ParallelFraction,
+    ) -> Result<Vec<YearPoint>, ProjectionError> {
+        let spec = self.chip_spec(design, column).ok_or_else(|| {
+            ProjectionError::Calibration(format!("no {column} u-core for {design}"))
+        })?;
+        let exempt = Self::bandwidth_exempt(design, column);
+        let optimizer = Optimizer::new(1.0, self.scenario.r_max(), 1.0)
+            .expect("scenario r_max is valid");
+        let roadmap = self.scenario.roadmap();
+        let (first, last) = {
+            let nodes = roadmap.nodes();
+            (nodes[0].year, nodes[nodes.len() - 1].year)
+        };
+        let mut points = Vec::new();
+        for year in first..=last {
+            let Ok(params) = roadmap.at_year(year) else {
+                continue;
+            };
+            let Ok(budgets) = self.budgets(&params, column, exempt) else {
+                continue;
+            };
+            let Ok(best) = optimizer.optimize(&spec, &budgets, f) else {
+                continue;
+            };
+            points.push(YearPoint {
+                year,
+                speedup: best.evaluation.speedup.get(),
+                limiter: best.evaluation.limiter,
+            });
+        }
+        Ok(points)
+    }
+
+    /// Convenience: the speedup at a single (design, column, node, f)
+    /// point, if feasible.
+    pub fn speedup_at(
+        &self,
+        design: DesignId,
+        column: WorkloadColumn,
+        node: ucore_devices::TechNode,
+        f: ParallelFraction,
+    ) -> Option<f64> {
+        self.project(design, column, f)
+            .ok()?
+            .into_iter()
+            .find(|p| p.node == node)
+            .map(|p| p.speedup)
+    }
+}
+
+/// One year of a fine-grained projection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct YearPoint {
+    /// Calendar year.
+    pub year: u32,
+    /// Best achievable speedup.
+    pub speedup: f64,
+    /// The binding resource.
+    pub limiter: ucore_core::Limiter,
+}
+
+/// The workload kinds the projections cover, with their columns.
+pub fn projection_columns() -> [(WorkloadKind, WorkloadColumn); 3] {
+    [
+        (WorkloadKind::Fft, WorkloadColumn::Fft1024),
+        (WorkloadKind::Mmm, WorkloadColumn::Mmm),
+        (WorkloadKind::BlackScholes, WorkloadColumn::Bs),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucore_core::Limiter;
+    use ucore_devices::TechNode;
+
+    fn engine() -> ProjectionEngine {
+        ProjectionEngine::new(Scenario::baseline()).unwrap()
+    }
+
+    fn f(v: f64) -> ParallelFraction {
+        ParallelFraction::new(v).unwrap()
+    }
+
+    #[test]
+    fn designs_per_column_match_figures() {
+        let e = engine();
+        // Figure 6 (FFT): SymCMP, AsymCMP, LX760, GTX285, GTX480, ASIC.
+        let fft = DesignId::for_column(e.table5(), WorkloadColumn::Fft1024);
+        assert_eq!(fft.len(), 6);
+        assert!(!fft.contains(&DesignId::Het(DeviceId::R5870)));
+        // Figure 7 (MMM): all seven.
+        let mmm = DesignId::for_column(e.table5(), WorkloadColumn::Mmm);
+        assert_eq!(mmm.len(), 7);
+        // Figure 8 (BS): five.
+        let bs = DesignId::for_column(e.table5(), WorkloadColumn::Bs);
+        assert_eq!(bs.len(), 5);
+    }
+
+    #[test]
+    fn budgets_scale_across_nodes() {
+        let e = engine();
+        let roadmap = e.scenario().roadmap().clone();
+        let b40 = e
+            .budgets(&roadmap.node(TechNode::N40).unwrap(), WorkloadColumn::Mmm, false)
+            .unwrap();
+        let b11 = e
+            .budgets(&roadmap.node(TechNode::N11).unwrap(), WorkloadColumn::Mmm, false)
+            .unwrap();
+        assert!(b11.area() > b40.area());
+        assert!(b11.power() > b40.power());
+        assert!(b11.bandwidth() > b40.bandwidth());
+        // Area grows ~16x, power only ~4x: the dark-silicon squeeze.
+        assert!((b11.area() / b40.area() - 15.7).abs() < 1.0);
+        assert!((b11.power() / b40.power() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asic_fft_is_bandwidth_limited_from_the_start() {
+        // Section 6.1: "At all values of f, the ASIC achieves the highest
+        // level of performance but cannot scale further due to bandwidth
+        // limitations."
+        let e = engine();
+        let pts = e
+            .project(DesignId::Het(DeviceId::Asic), WorkloadColumn::Fft1024, f(0.99))
+            .unwrap();
+        assert_eq!(pts.len(), 5);
+        for p in &pts {
+            assert_eq!(p.limiter, Limiter::Bandwidth, "{:?}", p.node);
+        }
+    }
+
+    #[test]
+    fn asic_mmm_is_never_bandwidth_limited() {
+        let e = engine();
+        let pts = e
+            .project(DesignId::Het(DeviceId::Asic), WorkloadColumn::Mmm, f(0.999))
+            .unwrap();
+        for p in &pts {
+            assert_ne!(p.limiter, Limiter::Bandwidth, "{:?}", p.node);
+        }
+    }
+
+    #[test]
+    fn asic_tops_every_fft_chart() {
+        let e = engine();
+        for fv in [0.5, 0.9, 0.99, 0.999] {
+            let asic = e
+                .speedup_at(
+                    DesignId::Het(DeviceId::Asic),
+                    WorkloadColumn::Fft1024,
+                    TechNode::N11,
+                    f(fv),
+                )
+                .unwrap();
+            for design in [
+                DesignId::SymCmp,
+                DesignId::AsymCmp,
+                DesignId::Het(DeviceId::Gtx285),
+                DesignId::Het(DeviceId::Gtx480),
+                DesignId::Het(DeviceId::V6Lx760),
+            ] {
+                let other = e
+                    .speedup_at(design, WorkloadColumn::Fft1024, TechNode::N11, f(fv))
+                    .unwrap();
+                assert!(asic >= other, "f = {fv}: {design} beat the ASIC");
+            }
+        }
+    }
+
+    #[test]
+    fn low_parallelism_erases_het_advantage() {
+        // Section 6.1: "At f = 0.5, the lack of sufficient parallelism
+        // results in none of the HETs providing a significant performance
+        // gain over the CMPs."
+        let e = engine();
+        let cmp = e
+            .speedup_at(DesignId::AsymCmp, WorkloadColumn::Fft1024, TechNode::N11, f(0.5))
+            .unwrap();
+        let gpu = e
+            .speedup_at(
+                DesignId::Het(DeviceId::Gtx480),
+                WorkloadColumn::Fft1024,
+                TechNode::N11,
+                f(0.5),
+            )
+            .unwrap();
+        assert!(gpu / cmp < 1.6, "HET/CMP at f=0.5 was {}", gpu / cmp);
+    }
+
+    #[test]
+    fn high_parallelism_amplifies_het_advantage() {
+        let e = engine();
+        let cmp = e
+            .speedup_at(DesignId::AsymCmp, WorkloadColumn::Mmm, TechNode::N11, f(0.999))
+            .unwrap();
+        let asic = e
+            .speedup_at(
+                DesignId::Het(DeviceId::Asic),
+                WorkloadColumn::Mmm,
+                TechNode::N11,
+                f(0.999),
+            )
+            .unwrap();
+        assert!(asic / cmp > 5.0, "ASIC/CMP at f=0.999 was {}", asic / cmp);
+    }
+
+    #[test]
+    fn speedups_grow_across_nodes() {
+        let e = engine();
+        let pts = e
+            .project(DesignId::AsymCmp, WorkloadColumn::Mmm, f(0.99))
+            .unwrap();
+        for pair in pts.windows(2) {
+            assert!(pair[1].speedup >= pair[0].speedup * 0.99);
+        }
+    }
+
+    #[test]
+    fn energy_declines_across_nodes() {
+        let e = engine();
+        let pts = e
+            .project(DesignId::Het(DeviceId::Asic), WorkloadColumn::Mmm, f(0.9))
+            .unwrap();
+        for pair in pts.windows(2) {
+            assert!(pair[1].energy <= pair[0].energy + 1e-9);
+        }
+    }
+
+    #[test]
+    fn yearly_projection_brackets_the_node_projection() {
+        let e = engine();
+        let nodes = e
+            .project(DesignId::AsymCmp, WorkloadColumn::Fft1024, f(0.99))
+            .unwrap();
+        let years = e
+            .project_yearly(DesignId::AsymCmp, WorkloadColumn::Fft1024, f(0.99))
+            .unwrap();
+        assert_eq!(years.len(), 12); // 2011..=2022
+        // Node years agree with the coarse projection.
+        for (node_point, year) in nodes.iter().zip([2011u32, 2013, 2016, 2019, 2022]) {
+            let yp = years.iter().find(|p| p.year == year).unwrap();
+            assert!(
+                (yp.speedup - node_point.speedup).abs() < 1e-9,
+                "year {year}"
+            );
+        }
+        // And intermediate years interpolate monotonically.
+        for pair in years.windows(2) {
+            assert!(pair[1].speedup >= pair[0].speedup * 0.999);
+        }
+    }
+
+    #[test]
+    fn missing_column_is_an_error() {
+        let e = engine();
+        let err = e
+            .project(DesignId::Het(DeviceId::R5870), WorkloadColumn::Bs, f(0.9))
+            .unwrap_err();
+        assert!(matches!(err, ProjectionError::Calibration(_)));
+    }
+}

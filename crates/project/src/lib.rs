@@ -1,0 +1,39 @@
+//! # ucore-project — the scaling projections
+//!
+//! Section 6 of the paper: calibrated U-core parameters plus the ITRS
+//! 2009 roadmap, swept across technology nodes, parallel fractions, and
+//! chip organizations, under area / power / bandwidth budgets.
+//!
+//! * [`scenario`] — the baseline study configuration and the §6.2
+//!   alternatives (bandwidth, area, power, serial-power variations);
+//! * [`engine`] — the projection engine: budgets per node, optimal
+//!   sequential-core sizing, limiting-constraint classification;
+//! * [`figures`] — ready-made reproductions of Figures 6, 7, 8, 9
+//!   and 10;
+//! * [`results`] — serializable result structures for export.
+//!
+//! ```
+//! use ucore_project::{figures, Scenario};
+//!
+//! let fig6 = figures::figure6()?;
+//! assert_eq!(fig6.panels.len(), 4); // f = 0.5, 0.9, 0.99, 0.999
+//! # Ok::<(), ucore_project::ProjectionError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crossover;
+pub mod designspace;
+pub mod engine;
+pub mod figures;
+pub mod results;
+pub mod scenario;
+pub mod uncertainty;
+
+pub use crossover::{f_crossover, node_crossover, paper_crossovers, CrossoverRecord};
+pub use designspace::{bandwidth_wall_mu, required_mu, DesignSpaceCell, DesignSpaceMap};
+pub use engine::{DesignId, ProjectionEngine, ProjectionError, YearPoint};
+pub use results::{FigureData, NodePoint, Panel, Series};
+pub use scenario::Scenario;
+pub use uncertainty::{speedup_interval, InputUncertainty, SpeedupInterval};

@@ -1,0 +1,136 @@
+//! Serializable projection results.
+
+use serde::{Deserialize, Serialize};
+use ucore_core::Limiter;
+use ucore_devices::TechNode;
+
+/// One projected design point at one technology node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodePoint {
+    /// The technology node.
+    pub node: TechNode,
+    /// Best achievable speedup (relative to one BCE).
+    pub speedup: f64,
+    /// Which resource bound the design (the dashed/solid/unconnected
+    /// encoding of the figures).
+    pub limiter: Limiter,
+    /// The optimal sequential-core size.
+    pub r: f64,
+    /// The usable resources at the optimum.
+    pub n: f64,
+    /// Total workload energy, normalized to one BCE at 40 nm.
+    pub energy: f64,
+}
+
+/// One line of a figure panel: a design swept across nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// The legend label, e.g. `"(6) ASIC"`.
+    pub label: String,
+    /// One point per feasible node.
+    pub points: Vec<NodePoint>,
+}
+
+/// One panel of a figure (one parallel fraction).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Panel {
+    /// The parallel fraction `f` of this panel.
+    pub f: f64,
+    /// All plotted series.
+    pub series: Vec<Series>,
+}
+
+/// A reproduced figure: its identity and panels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Which figure this reproduces, e.g. `"figure-6"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// The metric plotted on the y-axis.
+    pub metric: Metric,
+    /// One panel per swept `f`.
+    pub panels: Vec<Panel>,
+}
+
+/// What a figure's y-axis shows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// Speedup relative to one BCE.
+    Speedup,
+    /// Energy normalized to one BCE at 40 nm.
+    Energy,
+}
+
+impl FigureData {
+    /// The panel for a given `f`, if present.
+    pub fn panel(&self, f: f64) -> Option<&Panel> {
+        self.panels.iter().find(|p| (p.f - f).abs() < 1e-12)
+    }
+
+    /// The value (speedup or energy, per [`Metric`]) of one series at
+    /// one node, if plotted.
+    pub fn value(&self, f: f64, label_contains: &str, node: TechNode) -> Option<f64> {
+        let panel = self.panel(f)?;
+        let series = panel
+            .series
+            .iter()
+            .find(|s| s.label.contains(label_contains))?;
+        let point = series.points.iter().find(|p| p.node == node)?;
+        Some(match self.metric {
+            Metric::Speedup => point.speedup,
+            Metric::Energy => point.energy,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureData {
+        FigureData {
+            id: "figure-6".into(),
+            title: "FFT-1024 projection".into(),
+            metric: Metric::Speedup,
+            panels: vec![Panel {
+                f: 0.9,
+                series: vec![Series {
+                    label: "(6) ASIC".into(),
+                    points: vec![NodePoint {
+                        node: TechNode::N40,
+                        speedup: 12.0,
+                        limiter: Limiter::Bandwidth,
+                        r: 4.0,
+                        n: 5.0,
+                        energy: 0.5,
+                    }],
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn lookup_by_f_label_node() {
+        let fig = sample();
+        assert_eq!(fig.value(0.9, "ASIC", TechNode::N40), Some(12.0));
+        assert_eq!(fig.value(0.9, "ASIC", TechNode::N11), None);
+        assert_eq!(fig.value(0.5, "ASIC", TechNode::N40), None);
+        assert_eq!(fig.value(0.9, "GTX", TechNode::N40), None);
+    }
+
+    #[test]
+    fn energy_metric_switches_value() {
+        let mut fig = sample();
+        fig.metric = Metric::Energy;
+        assert_eq!(fig.value(0.9, "ASIC", TechNode::N40), Some(0.5));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let fig = sample();
+        let json = serde_json::to_string(&fig).unwrap();
+        let back: FigureData = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, fig);
+    }
+}

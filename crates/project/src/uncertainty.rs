@@ -1,0 +1,267 @@
+//! Uncertainty quantification for the projections.
+//!
+//! The paper is frank about its error sources ("Model validity and
+//! concerns"): the calibrated `(µ, φ)` come from physical measurements
+//! with probe noise and estimation error, and the ITRS inputs are
+//! forecasts. This module propagates calibration uncertainty through
+//! the model with seeded Monte-Carlo sampling: perturb `(µ, φ)` (and
+//! optionally the budgets), re-optimize, and report speedup quantiles —
+//! so every projected point can carry an interval instead of a bare
+//! number.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use ucore_core::{Budgets, ChipSpec, ModelError, Optimizer, ParallelFraction, UCore};
+
+/// Relative 1-sigma-style uncertainty on the inputs (uniform ±bound
+/// sampling, the conservative choice for instrument error).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InputUncertainty {
+    /// Relative error on µ (e.g. 0.05 for ±5%).
+    pub mu_rel: f64,
+    /// Relative error on φ.
+    pub phi_rel: f64,
+    /// Relative error on the bandwidth budget (forecast risk).
+    pub bandwidth_rel: f64,
+    /// Relative error on the power budget.
+    pub power_rel: f64,
+}
+
+impl InputUncertainty {
+    /// Measurement-grade uncertainty: ±5% on the calibrated
+    /// parameters, budgets exact.
+    pub fn measurement() -> Self {
+        InputUncertainty { mu_rel: 0.05, phi_rel: 0.05, bandwidth_rel: 0.0, power_rel: 0.0 }
+    }
+
+    /// Forecast-grade uncertainty: measurement error plus ±20% on the
+    /// ITRS bandwidth and power trajectories.
+    pub fn forecast() -> Self {
+        InputUncertainty { mu_rel: 0.05, phi_rel: 0.05, bandwidth_rel: 0.20, power_rel: 0.20 }
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        for (what, v) in [
+            ("mu uncertainty", self.mu_rel),
+            ("phi uncertainty", self.phi_rel),
+            ("bandwidth uncertainty", self.bandwidth_rel),
+            ("power uncertainty", self.power_rel),
+        ] {
+            if !(v.is_finite() && (0.0..1.0).contains(&v)) {
+                return Err(ModelError::NonPositive { what, value: v });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A speedup distribution summary from the Monte-Carlo sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupInterval {
+    /// The unperturbed (nominal) speedup.
+    pub nominal: f64,
+    /// Sample median.
+    pub median: f64,
+    /// 5th percentile.
+    pub p5: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Fraction of samples that were infeasible (dropped).
+    pub infeasible_fraction: f64,
+}
+
+impl SpeedupInterval {
+    /// The relative half-width of the 90% interval — a headline "error
+    /// bar" for the projection.
+    pub fn relative_halfwidth(&self) -> f64 {
+        (self.p95 - self.p5) / (2.0 * self.median)
+    }
+}
+
+/// Propagates input uncertainty through one design point with `samples`
+/// seeded Monte-Carlo draws.
+///
+/// # Errors
+///
+/// Returns an error if the *nominal* point is infeasible or the
+/// uncertainty description is invalid; perturbed-infeasible samples are
+/// tallied in `infeasible_fraction` instead.
+pub fn speedup_interval(
+    ucore: UCore,
+    budgets: &Budgets,
+    f: ParallelFraction,
+    uncertainty: &InputUncertainty,
+    samples: usize,
+    seed: u64,
+) -> Result<SpeedupInterval, ModelError> {
+    uncertainty.validate()?;
+    let optimizer = Optimizer::paper_default();
+    let nominal = optimizer
+        .optimize(&ChipSpec::heterogeneous(ucore), budgets, f)?
+        .evaluation
+        .speedup
+        .get();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut draws = Vec::with_capacity(samples);
+    let mut infeasible = 0usize;
+    let samples = samples.max(1);
+    for _ in 0..samples {
+        let jitter = |rng: &mut StdRng, rel: f64| {
+            if rel == 0.0 {
+                1.0
+            } else {
+                1.0 + rng.gen_range(-rel..=rel)
+            }
+        };
+        let mu = ucore.mu() * jitter(&mut rng, uncertainty.mu_rel);
+        let phi = ucore.phi() * jitter(&mut rng, uncertainty.phi_rel);
+        let bw = budgets.bandwidth() * jitter(&mut rng, uncertainty.bandwidth_rel);
+        let pw = budgets.power() * jitter(&mut rng, uncertainty.power_rel);
+        let Ok(perturbed_budgets) = Budgets::new(budgets.area(), pw, bw) else {
+            infeasible += 1;
+            continue;
+        };
+        let Ok(perturbed_core) = UCore::new(mu, phi) else {
+            infeasible += 1;
+            continue;
+        };
+        match optimizer.optimize(
+            &ChipSpec::heterogeneous(perturbed_core),
+            &perturbed_budgets,
+            f,
+        ) {
+            Ok(best) => draws.push(best.evaluation.speedup.get()),
+            Err(_) => infeasible += 1,
+        }
+    }
+    if draws.is_empty() {
+        return Err(ModelError::Infeasible {
+            reason: "every Monte-Carlo sample was infeasible".into(),
+        });
+    }
+    draws.sort_by(|a, b| a.partial_cmp(b).expect("speedups are finite"));
+    let quantile = |q: f64| {
+        let idx = ((draws.len() - 1) as f64 * q).round() as usize;
+        draws[idx]
+    };
+    Ok(SpeedupInterval {
+        nominal,
+        median: quantile(0.5),
+        p5: quantile(0.05),
+        p95: quantile(0.95),
+        infeasible_fraction: infeasible as f64 / samples as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(v: f64) -> ParallelFraction {
+        ParallelFraction::new(v).unwrap()
+    }
+
+    fn setup() -> (UCore, Budgets) {
+        (
+            UCore::new(2.88, 0.63).unwrap(), // GTX285 FFT-1024
+            Budgets::new(19.0, 8.7, 45.0).unwrap(),
+        )
+    }
+
+    #[test]
+    fn interval_brackets_the_nominal() {
+        let (u, b) = setup();
+        let interval = speedup_interval(
+            u,
+            &b,
+            f(0.99),
+            &InputUncertainty::measurement(),
+            500,
+            7,
+        )
+        .unwrap();
+        assert!(interval.p5 <= interval.median);
+        assert!(interval.median <= interval.p95);
+        assert!(interval.p5 <= interval.nominal * 1.01);
+        assert!(interval.p95 >= interval.nominal * 0.99);
+        assert_eq!(interval.infeasible_fraction, 0.0);
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let (u, b) = setup();
+        let unc = InputUncertainty::forecast();
+        let a = speedup_interval(u, &b, f(0.99), &unc, 200, 42).unwrap();
+        let c = speedup_interval(u, &b, f(0.99), &unc, 200, 42).unwrap();
+        assert_eq!(a, c);
+        let d = speedup_interval(u, &b, f(0.99), &unc, 200, 43).unwrap();
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn forecast_uncertainty_widens_the_interval() {
+        let (u, b) = setup();
+        let tight = speedup_interval(
+            u,
+            &b,
+            f(0.99),
+            &InputUncertainty::measurement(),
+            400,
+            1,
+        )
+        .unwrap();
+        let wide =
+            speedup_interval(u, &b, f(0.99), &InputUncertainty::forecast(), 400, 1)
+                .unwrap();
+        assert!(wide.relative_halfwidth() > tight.relative_halfwidth());
+    }
+
+    #[test]
+    fn bandwidth_limited_designs_shrug_off_mu_noise() {
+        // The paper's robustness story quantified: past the bandwidth
+        // wall, the ASIC's projected speedup is insensitive to
+        // calibration error on mu.
+        let b = Budgets::new(19.0, 8.7, 45.0).unwrap();
+        let asic = UCore::new(489.0, 4.96).unwrap();
+        let only_mu = InputUncertainty {
+            mu_rel: 0.20,
+            phi_rel: 0.0,
+            bandwidth_rel: 0.0,
+            power_rel: 0.0,
+        };
+        let interval = speedup_interval(asic, &b, f(0.99), &only_mu, 300, 5).unwrap();
+        assert!(
+            interval.relative_halfwidth() < 0.02,
+            "halfwidth {}",
+            interval.relative_halfwidth()
+        );
+    }
+
+    #[test]
+    fn zero_uncertainty_collapses_the_interval() {
+        let (u, b) = setup();
+        let none = InputUncertainty {
+            mu_rel: 0.0,
+            phi_rel: 0.0,
+            bandwidth_rel: 0.0,
+            power_rel: 0.0,
+        };
+        let interval = speedup_interval(u, &b, f(0.9), &none, 50, 9).unwrap();
+        assert_eq!(interval.p5, interval.p95);
+        assert!((interval.median - interval.nominal).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_uncertainty_rejected() {
+        let (u, b) = setup();
+        let bad = InputUncertainty {
+            mu_rel: 1.5,
+            phi_rel: 0.0,
+            bandwidth_rel: 0.0,
+            power_rel: 0.0,
+        };
+        assert!(speedup_interval(u, &b, f(0.9), &bad, 10, 1).is_err());
+    }
+}

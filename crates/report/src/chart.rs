@@ -1,0 +1,235 @@
+//! ASCII line charts for the figure reproductions.
+//!
+//! Each series is drawn with its own glyph over a fixed-size character
+//! grid; the x-axis carries categorical labels (technology nodes), the
+//! y-axis a linear or logarithmic value scale.
+
+use std::fmt;
+
+/// One plotted series.
+#[derive(Debug, Clone, PartialEq)]
+struct ChartSeries {
+    name: String,
+    glyph: char,
+    values: Vec<Option<f64>>,
+}
+
+/// An ASCII chart builder.
+///
+/// ```
+/// use ucore_report::Chart;
+/// let mut c = Chart::new("speedup", vec!["40nm".into(), "32nm".into()], 20, 8);
+/// c.series("ASIC", '6', vec![Some(10.0), Some(14.0)]);
+/// let drawn = c.to_string();
+/// assert!(drawn.contains('6'));
+/// assert!(drawn.contains("40nm"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chart {
+    title: String,
+    x_labels: Vec<String>,
+    width: usize,
+    height: usize,
+    log_y: bool,
+    series: Vec<ChartSeries>,
+}
+
+impl Chart {
+    /// Creates a chart with a title, categorical x labels and a plot
+    /// area of `width x height` characters (minimums of 8 x 3 are
+    /// enforced).
+    pub fn new(title: &str, x_labels: Vec<String>, width: usize, height: usize) -> Self {
+        Chart {
+            title: title.to_string(),
+            x_labels,
+            width: width.max(8),
+            height: height.max(3),
+            log_y: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Switches the y-axis to log scale (used for the wide-range FFT
+    /// performance plots).
+    pub fn log_y(&mut self) -> &mut Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Adds a series; `values` align with the x labels, `None` for
+    /// missing points.
+    pub fn series(&mut self, name: &str, glyph: char, values: Vec<Option<f64>>) -> &mut Self {
+        let mut values = values;
+        values.resize(self.x_labels.len(), None);
+        self.series.push(ChartSeries { name: name.to_string(), glyph, values });
+        self
+    }
+
+    fn transform(&self, v: f64) -> Option<f64> {
+        if self.log_y {
+            (v > 0.0).then(|| v.log10())
+        } else {
+            Some(v)
+        }
+    }
+
+    fn bounds(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for s in &self.series {
+            for v in s.values.iter().flatten() {
+                if let Some(t) = self.transform(*v) {
+                    lo = lo.min(t);
+                    hi = hi.max(t);
+                }
+            }
+        }
+        if !lo.is_finite() || !hi.is_finite() {
+            (0.0, 1.0)
+        } else if (hi - lo).abs() < 1e-12 {
+            (lo - 0.5, hi + 0.5)
+        } else {
+            (lo.min(if self.log_y { lo } else { 0.0 }), hi)
+        }
+    }
+}
+
+impl fmt::Display for Chart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let (lo, hi) = self.bounds();
+        let mut grid = vec![vec![' '; self.width]; self.height];
+
+        let n = self.x_labels.len().max(1);
+        let col_of = |i: usize| {
+            if n == 1 {
+                self.width / 2
+            } else {
+                i * (self.width - 1) / (n - 1)
+            }
+        };
+        for s in &self.series {
+            for (i, v) in s.values.iter().enumerate() {
+                let Some(v) = v else { continue };
+                let Some(t) = self.transform(*v) else { continue };
+                let frac = (t - lo) / (hi - lo);
+                let row = ((1.0 - frac) * (self.height - 1) as f64).round() as usize;
+                let col = col_of(i);
+                grid[row.min(self.height - 1)][col] = s.glyph;
+            }
+        }
+
+        // y-axis labels at top and bottom.
+        let show = |t: f64| {
+            if self.log_y {
+                10f64.powf(t)
+            } else {
+                t
+            }
+        };
+        for (ri, row) in grid.iter().enumerate() {
+            let label = if ri == 0 {
+                format!("{:>9.2} |", show(hi))
+            } else if ri == self.height - 1 {
+                format!("{:>9.2} |", show(lo))
+            } else {
+                format!("{:>9} |", "")
+            };
+            let line: String = row.iter().collect();
+            writeln!(f, "{label}{line}")?;
+        }
+        // x labels.
+        let mut axis = vec![' '; self.width];
+        for (i, _) in self.x_labels.iter().enumerate() {
+            axis[col_of(i)] = '+';
+        }
+        writeln!(f, "{:>9} +{}", "", axis.iter().collect::<String>())?;
+        // Extra room so a label anchored at the last column still fits.
+        let mut label_line = vec![' '; self.width + 12];
+        for (i, lab) in self.x_labels.iter().enumerate() {
+            let col = col_of(i);
+            for (j, ch) in lab.chars().enumerate() {
+                if col + j < label_line.len() {
+                    label_line[col + j] = ch;
+                }
+            }
+        }
+        writeln!(f, "{:>9} {}", "", label_line.iter().collect::<String>())?;
+        // legend.
+        for s in &self.series {
+            writeln!(f, "{:>9}   {} = {}", "", s.glyph, s.name)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_axis_legend() {
+        let mut c = Chart::new(
+            "FFT-1024 f=0.999",
+            vec!["40nm".into(), "11nm".into()],
+            30,
+            10,
+        );
+        c.series("ASIC", '6', vec![Some(45.0), Some(65.0)]);
+        c.series("SymCMP", '0', vec![Some(3.0), Some(9.0)]);
+        let s = c.to_string();
+        assert!(s.contains("FFT-1024"));
+        assert!(s.contains("6 = ASIC"));
+        assert!(s.contains("0 = SymCMP"));
+        assert!(s.contains("40nm"));
+        assert!(s.contains("11nm"));
+    }
+
+    #[test]
+    fn higher_values_plot_higher() {
+        let mut c = Chart::new("t", vec!["a".into(), "b".into()], 20, 10);
+        c.series("s", '*', vec![Some(1.0), Some(100.0)]);
+        let s = c.to_string();
+        let rows: Vec<&str> = s.lines().collect();
+        let row_of = |col_low: bool| {
+            rows.iter()
+                .position(|r| {
+                    let stars: Vec<usize> =
+                        r.char_indices().filter(|(_, ch)| *ch == '*').map(|(i, _)| i).collect();
+                    if col_low {
+                        stars.iter().any(|&i| i < r.len() / 2)
+                    } else {
+                        stars.iter().any(|&i| i >= r.len() / 2)
+                    }
+                })
+                .unwrap()
+        };
+        assert!(row_of(false) < row_of(true), "100 should be above 1");
+    }
+
+    #[test]
+    fn log_scale_compresses_range() {
+        let mut c = Chart::new("t", vec!["a".into(), "b".into(), "c".into()], 20, 10);
+        c.log_y();
+        c.series("s", '*', vec![Some(1.0), Some(100.0), Some(10000.0)]);
+        let s = c.to_string();
+        assert_eq!(s.matches('*').count(), 4); // 3 points + the legend glyph
+        // Top label reflects the untransformed maximum.
+        assert!(s.contains("10000"));
+    }
+
+    #[test]
+    fn missing_points_are_skipped() {
+        let mut c = Chart::new("t", vec!["a".into(), "b".into()], 20, 5);
+        c.series("s", '*', vec![Some(1.0), None]);
+        assert_eq!(c.to_string().matches('*').count(), 2); // 1 point + legend
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let mut c = Chart::new("t", vec!["a".into(), "b".into()], 20, 5);
+        c.series("s", '*', vec![Some(5.0), Some(5.0)]);
+        let s = c.to_string();
+        assert!(s.matches('*').count() >= 2);
+    }
+}

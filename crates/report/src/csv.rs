@@ -1,0 +1,88 @@
+//! Minimal CSV writing with RFC-4180 quoting.
+
+use std::fmt::Write as _;
+
+/// An in-memory CSV builder.
+///
+/// ```
+/// use ucore_report::CsvWriter;
+/// let mut w = CsvWriter::new(vec!["node".into(), "speedup".into()]);
+/// w.row(vec!["40nm".into(), "12.5".into()]);
+/// assert_eq!(w.finish(), "node,speedup\n40nm,12.5\n");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvWriter {
+    out: String,
+    columns: usize,
+}
+
+fn quote(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+impl CsvWriter {
+    /// Starts a CSV document with a header row.
+    pub fn new(headers: Vec<String>) -> Self {
+        let columns = headers.len();
+        let mut w = CsvWriter { out: String::new(), columns };
+        w.write_row(&headers);
+        w
+    }
+
+    /// Appends a data row; rows are padded or truncated to the header
+    /// width.
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        cells.resize(self.columns, String::new());
+        self.write_row(&cells);
+        self
+    }
+
+    fn write_row(&mut self, cells: &[String]) {
+        let line = cells.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",");
+        let _ = writeln!(self.out, "{line}");
+    }
+
+    /// The completed CSV text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields_unquoted() {
+        let mut w = CsvWriter::new(vec!["a".into(), "b".into()]);
+        w.row(vec!["1".into(), "2".into()]);
+        assert_eq!(w.finish(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn commas_and_quotes_are_escaped() {
+        let mut w = CsvWriter::new(vec!["text".into()]);
+        w.row(vec!["hello, \"world\"".into()]);
+        assert_eq!(w.finish(), "text\n\"hello, \"\"world\"\"\"\n");
+    }
+
+    #[test]
+    fn newlines_are_quoted() {
+        let mut w = CsvWriter::new(vec!["text".into()]);
+        w.row(vec!["two\nlines".into()]);
+        assert!(w.finish().contains("\"two\nlines\""));
+    }
+
+    #[test]
+    fn rows_normalized_to_header_width() {
+        let mut w = CsvWriter::new(vec!["a".into(), "b".into()]);
+        w.row(vec!["only".into()]);
+        w.row(vec!["x".into(), "y".into(), "dropped".into()]);
+        let text = w.finish();
+        assert_eq!(text, "a,b\nonly,\nx,y\n");
+    }
+}

@@ -1,0 +1,191 @@
+//! ASCII heatmaps: intensity-coded grids for design-space maps.
+
+use std::fmt;
+
+/// The glyph ramp, light to dark.
+const RAMP: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// A heatmap builder over a dense row-major grid.
+///
+/// ```
+/// use ucore_report::Heatmap;
+/// let h = Heatmap::new(
+///     "speedup",
+///     vec!["1".into(), "10".into()],
+///     vec!["0.5".into(), "2.0".into()],
+///     vec![1.0, 10.0, 0.5, 5.0],
+/// );
+/// let s = h.to_string();
+/// assert!(s.contains("speedup"));
+/// assert!(s.contains('@')); // the maximum cell gets the darkest glyph
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Heatmap {
+    title: String,
+    col_labels: Vec<String>,
+    row_labels: Vec<String>,
+    values: Vec<f64>,
+    log_scale: bool,
+}
+
+impl Heatmap {
+    /// Creates a heatmap; `values` is row-major with
+    /// `rows × cols = row_labels.len() × col_labels.len()` entries
+    /// (truncated or NaN-padded otherwise).
+    pub fn new(
+        title: &str,
+        col_labels: Vec<String>,
+        row_labels: Vec<String>,
+        mut values: Vec<f64>,
+    ) -> Self {
+        values.resize(col_labels.len() * row_labels.len(), f64::NAN);
+        Heatmap {
+            title: title.to_string(),
+            col_labels,
+            row_labels,
+            values,
+            log_scale: false,
+        }
+    }
+
+    /// Switches intensity mapping to log scale.
+    pub fn log_scale(mut self) -> Self {
+        self.log_scale = true;
+        self
+    }
+
+    fn glyph(&self, v: f64, lo: f64, hi: f64) -> char {
+        if !v.is_finite() {
+            return '?';
+        }
+        let (v, lo, hi) = if self.log_scale {
+            (v.max(1e-300).ln(), lo.max(1e-300).ln(), hi.max(1e-300).ln())
+        } else {
+            (v, lo, hi)
+        };
+        if hi - lo < 1e-300 {
+            return RAMP[RAMP.len() / 2];
+        }
+        let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+        RAMP[((t * (RAMP.len() - 1) as f64).round()) as usize]
+    }
+}
+
+impl fmt::Display for Heatmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let finite: Vec<f64> = self.values.iter().copied().filter(|v| v.is_finite()).collect();
+        let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let label_w = self
+            .row_labels
+            .iter()
+            .map(|l| l.chars().count())
+            .max()
+            .unwrap_or(0)
+            .max(4);
+        // Header: one character per column (compact), legend below.
+        write!(f, "{:>label_w$} ", "")?;
+        for (i, _) in self.col_labels.iter().enumerate() {
+            write!(f, "{}", (b'a' + (i % 26) as u8) as char)?;
+        }
+        writeln!(f)?;
+        let cols = self.col_labels.len();
+        for (r, row_label) in self.row_labels.iter().enumerate() {
+            write!(f, "{row_label:>label_w$} ")?;
+            for c in 0..cols {
+                let v = self.values[r * cols + c];
+                write!(f, "{}", self.glyph(v, lo, hi))?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(f, "scale: '{}' = {lo:.2} ... '{}' = {hi:.2}", RAMP[0], RAMP[9])?;
+        for (i, label) in self.col_labels.iter().enumerate() {
+            writeln!(f, "  {} = {label}", (b'a' + (i % 26) as u8) as char)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Heatmap {
+        Heatmap::new(
+            "test map",
+            vec!["c0".into(), "c1".into(), "c2".into()],
+            vec!["r0".into(), "r1".into()],
+            vec![0.0, 5.0, 10.0, 10.0, 5.0, 0.0],
+        )
+    }
+
+    #[test]
+    fn extremes_get_extreme_glyphs() {
+        let s = sample().to_string();
+        let grid: Vec<&str> = s.lines().skip(2).take(2).collect();
+        assert!(grid[0].contains(' ') || grid[0].contains('@'));
+        assert!(s.contains('@'));
+        assert!(s.contains("scale:"));
+    }
+
+    #[test]
+    fn nan_cells_render_as_question_marks() {
+        let h = Heatmap::new(
+            "t",
+            vec!["a".into()],
+            vec!["r".into()],
+            vec![f64::NAN],
+        );
+        assert!(h.to_string().contains('?'));
+    }
+
+    #[test]
+    fn constant_grid_does_not_panic() {
+        let h = Heatmap::new(
+            "t",
+            vec!["a".into(), "b".into()],
+            vec!["r".into()],
+            vec![3.0, 3.0],
+        );
+        let s = h.to_string();
+        assert!(s.contains(RAMP[RAMP.len() / 2]));
+    }
+
+    #[test]
+    fn log_scale_spreads_wide_ranges() {
+        let lin = Heatmap::new(
+            "t",
+            vec!["a".into(), "b".into(), "c".into()],
+            vec!["r".into()],
+            vec![1.0, 10.0, 10000.0],
+        );
+        let log = lin.clone().log_scale();
+        // On a linear scale 1 and 10 are both "lowest"; on log they
+        // differ.
+        let glyph_at = |h: &Heatmap, idx: usize| {
+            let s = h.to_string();
+            s.lines().nth(2).unwrap().chars().nth(5 + idx).unwrap()
+        };
+        assert_eq!(glyph_at(&lin, 0), glyph_at(&lin, 1));
+        assert_ne!(glyph_at(&log, 0), glyph_at(&log, 1));
+    }
+
+    #[test]
+    fn values_padded_to_grid() {
+        let h = Heatmap::new(
+            "t",
+            vec!["a".into(), "b".into()],
+            vec!["r".into(), "s".into()],
+            vec![1.0], // 3 short
+        );
+        assert!(h.to_string().contains('?'));
+    }
+
+    #[test]
+    fn legend_lists_columns() {
+        let s = sample().to_string();
+        assert!(s.contains("a = c0"));
+        assert!(s.contains("c = c2"));
+    }
+}

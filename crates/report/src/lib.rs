@@ -1,0 +1,26 @@
+//! # ucore-report — presentation helpers for the reproduction harness
+//!
+//! Small, dependency-light rendering utilities used by the `repro`
+//! binary and the examples:
+//!
+//! * [`table`] — monospaced ASCII tables with per-column alignment;
+//! * [`chart`] — ASCII line charts (one glyph per series) for the
+//!   figure reproductions;
+//! * [`csv`] — minimal CSV writing with correct quoting;
+//! * [`markdown`] — GitHub-flavored markdown tables for documentation
+//!   exports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod csv;
+pub mod heatmap;
+pub mod markdown;
+pub mod table;
+
+pub use chart::Chart;
+pub use csv::CsvWriter;
+pub use heatmap::Heatmap;
+pub use markdown::MarkdownTable;
+pub use table::{Align, Table};

@@ -1,0 +1,107 @@
+//! GitHub-flavored markdown tables, for exporting results into
+//! documentation (EXPERIMENTS.md-style records).
+
+use std::fmt;
+
+/// A markdown table builder.
+///
+/// ```
+/// use ucore_report::MarkdownTable;
+/// let mut t = MarkdownTable::new(vec!["device".into(), "mu".into()]);
+/// t.row(vec!["ASIC".into(), "27.4".into()]);
+/// let md = t.to_string();
+/// assert!(md.starts_with("| device | mu |"));
+/// assert!(md.contains("| ASIC | 27.4 |"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkdownTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+/// Escapes a cell: pipes and newlines would break the table grammar.
+fn escape(cell: &str) -> String {
+    cell.replace('|', "\\|").replace('\n', " ")
+}
+
+impl MarkdownTable {
+    /// Creates a table with the given headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        MarkdownTable { headers, rows: Vec::new() }
+    }
+
+    /// Appends a row, padded or truncated to the header width.
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// The number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for MarkdownTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for cell in cells {
+                write!(f, " {} |", escape(cell))?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        write!(f, "|")?;
+        for _ in &self.headers {
+            write!(f, "---|")?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_separator_rows() {
+        let mut t = MarkdownTable::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.to_string();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "| a | b |");
+        assert_eq!(lines[1], "|---|---|");
+        assert_eq!(lines[2], "| 1 | 2 |");
+    }
+
+    #[test]
+    fn escapes_pipes_and_newlines() {
+        let mut t = MarkdownTable::new(vec!["x".into()]);
+        t.row(vec!["a|b\nc".into()]);
+        let md = t.to_string();
+        assert!(md.contains("a\\|b c"));
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = MarkdownTable::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["only".into()]);
+        t.row(vec!["1".into(), "2".into(), "gone".into()]);
+        let md = t.to_string();
+        assert!(md.contains("| only |  |"));
+        assert!(!md.contains("gone"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+}

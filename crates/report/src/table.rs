@@ -1,0 +1,157 @@
+//! Monospaced ASCII tables.
+
+use std::fmt;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple table builder.
+///
+/// ```
+/// use ucore_report::{Align, Table};
+/// let mut t = Table::new(vec!["device".into(), "GFLOP/s".into()]);
+/// t.align(1, Align::Right);
+/// t.row(vec!["ASIC".into(), "694".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("ASIC"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers (all left-aligned
+    /// by default).
+    pub fn new(headers: Vec<String>) -> Self {
+        let aligns = vec![Align::Left; headers.len()];
+        Table { headers, aligns, rows: Vec::new() }
+    }
+
+    /// Sets the alignment of one column; out-of-range indices are
+    /// ignored.
+    pub fn align(&mut self, column: usize, align: Align) -> &mut Self {
+        if let Some(a) = self.aligns.get_mut(column) {
+            *a = align;
+        }
+        self
+    }
+
+    /// Appends a row; short rows are padded with empty cells and long
+    /// rows truncated to the header width.
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// The number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> =
+            self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, width)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    f.write_str("  ")?;
+                }
+                let pad = width.saturating_sub(cell.chars().count());
+                match self.aligns[i] {
+                    Align::Left => write!(f, "{cell}{}", " ".repeat(pad))?,
+                    Align::Right => write!(f, "{}{cell}", " ".repeat(pad))?,
+                }
+            }
+            writeln!(f)
+        };
+        render(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["name".into(), "value".into()]);
+        t.align(1, Align::Right);
+        t.row(vec!["alpha".into(), "1.75".into()]);
+        t.row(vec!["long-name-here".into(), "2".into()]);
+        t
+    }
+
+    #[test]
+    fn renders_header_rule_rows() {
+        let s = sample().to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn right_alignment_pads_left() {
+        let s = sample().to_string();
+        let row = s.lines().nth(2).unwrap();
+        // "value" column is right-aligned: 1.75 ends at the column edge.
+        assert!(row.ends_with("1.75"));
+    }
+
+    #[test]
+    fn columns_align_across_rows() {
+        let s = sample().to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn short_and_long_rows_are_normalized() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["only".into()]);
+        t.row(vec!["x".into(), "y".into(), "z-dropped".into()]);
+        assert_eq!(t.len(), 2);
+        let s = t.to_string();
+        assert!(!s.contains("z-dropped"));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new(vec!["h".into()]);
+        assert!(t.is_empty());
+        assert!(t.to_string().contains('h'));
+    }
+}

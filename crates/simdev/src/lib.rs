@@ -1,0 +1,50 @@
+//! # ucore-simdev — the simulated measurement lab
+//!
+//! The paper calibrates its model by *measuring* tuned kernels on real
+//! hardware: current probes on supply rails, GPU performance counters,
+//! microbenchmarks that subtract uncore power, and a commercial synthesis
+//! flow for the ASIC cores. None of that hardware is available here, so
+//! this crate builds the closest synthetic equivalent:
+//!
+//! * [`data`] — the calibrated per-device, per-workload observables
+//!   (absolute throughput, area-normalized throughput, energy
+//!   efficiency), anchored to the paper's published Tables 4 and 5 and
+//!   interpolated across FFT sizes;
+//! * [`roofline`] — the compute-vs-bandwidth attainable-performance
+//!   model that decides when a device stops being compute-bound;
+//! * [`measure`] — [`measure::SimLab`], the top-level "lab" that
+//!   produces steady-state measurements (Figures 2–4, Table 4);
+//! * [`power`] — the power-breakdown model behind Figure 3 and the
+//!   microbenchmark-style uncore subtraction of §4.2;
+//! * [`probe`] — a simulated current probe with deterministic noise and
+//!   steady-state averaging;
+//! * [`counters`] — simulated off-chip bandwidth counters, including the
+//!   GTX285's on-chip-capacity transition at FFT size 2^12 (Figure 4);
+//! * [`asic`] — a stand-in for the Synopsys + Cacti flow: analytical
+//!   area/power estimates for the custom-logic cores and their SRAM.
+//!
+//! Everything downstream (calibration, projection) consumes only the
+//! observables this lab produces, exactly as the paper's model consumes
+//! only its measurements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asic;
+pub mod counters;
+pub mod data;
+pub mod dram;
+pub mod measure;
+pub mod pipeline;
+pub mod power;
+pub mod probe;
+pub mod roofline;
+pub mod trace;
+
+pub use data::{DeviceWorkloadData, MeasuredTable};
+pub use dram::{memory_system, DramKind, MemorySystem};
+pub use measure::{Measurement, SimLab, SimLabError};
+pub use pipeline::StreamingPipeline;
+pub use power::{PowerBreakdown, PowerModel};
+pub use roofline::{Roofline, RooflineVerdict};
+pub use trace::{synthesize_trace, Segment, Trace};

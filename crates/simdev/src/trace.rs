@@ -1,0 +1,211 @@
+//! Synthetic execution traces and parallel-fraction estimation.
+//!
+//! The model's key workload parameter — the parallel fraction `f` — is
+//! something a practitioner must *measure*, typically by profiling an
+//! execution and classifying time into serial and parallelizable
+//! segments. This module closes that methodological gap for the
+//! simulated lab: it generates synthetic traces with a known ground
+//! truth and provides the estimator that recovers `f` (and a full
+//! parallelism profile) from a trace, so the projection inputs can be
+//! derived the same way the authors would have derived them.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One profiled segment of an execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Wall-clock duration of the segment on the baseline core,
+    /// in arbitrary units.
+    pub duration: f64,
+    /// The parallelism the segment could exploit: 1 = strictly serial,
+    /// larger = parallelizable across that many workers (the model
+    /// treats anything > 1 as "parallel section").
+    pub width: u32,
+}
+
+/// A profiled execution: an ordered list of segments.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    segments: Vec<Segment>,
+}
+
+impl Trace {
+    /// Wraps raw segments (zero-duration segments are dropped).
+    pub fn new(segments: Vec<Segment>) -> Self {
+        Trace {
+            segments: segments
+                .into_iter()
+                .filter(|s| s.duration > 0.0 && s.duration.is_finite())
+                .collect(),
+        }
+    }
+
+    /// The segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Total baseline time.
+    pub fn total_time(&self) -> f64 {
+        self.segments.iter().map(|s| s.duration).sum()
+    }
+
+    /// The Amdahl parallel fraction: time in segments with `width > 1`
+    /// over total time. Returns 0 for an empty trace.
+    pub fn estimate_f(&self) -> f64 {
+        let total = self.total_time();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let parallel: f64 = self
+            .segments
+            .iter()
+            .filter(|s| s.width > 1)
+            .map(|s| s.duration)
+            .sum();
+        parallel / total
+    }
+
+    /// A parallelism profile: `(width, share-of-time)` pairs, widths
+    /// aggregated and shares normalized. Feed this to
+    /// `ucore_core::ParallelismProfile` (mapping widths to effective
+    /// `f` per phase) for profile-aware projections.
+    pub fn width_histogram(&self) -> Vec<(u32, f64)> {
+        let total = self.total_time();
+        if total <= 0.0 {
+            return Vec::new();
+        }
+        let mut acc: Vec<(u32, f64)> = Vec::new();
+        for s in &self.segments {
+            match acc.iter_mut().find(|(w, _)| *w == s.width) {
+                Some((_, t)) => *t += s.duration,
+                None => acc.push((s.width, s.duration)),
+            }
+        }
+        acc.sort_by_key(|(w, _)| *w);
+        for (_, t) in &mut acc {
+            *t /= total;
+        }
+        acc
+    }
+}
+
+/// Generates a synthetic trace with ground-truth parallel fraction `f`:
+/// serial and parallel segments with exponential-ish random durations,
+/// interleaved randomly, totaling `segments` entries.
+///
+/// The parallel segments carry width `parallel_width`.
+pub fn synthesize_trace(
+    f: f64,
+    segments: usize,
+    parallel_width: u32,
+    seed: u64,
+) -> Trace {
+    let f = f.clamp(0.0, 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let segments = segments.max(2);
+    // Split the segment count by f, then give each class randomized
+    // durations that are renormalized to hit f exactly.
+    let parallel_count = ((segments as f64) * f).round() as usize;
+    let serial_count = segments - parallel_count;
+    let mut out: Vec<Segment> = Vec::with_capacity(segments);
+    let draw = |rng: &mut StdRng| -> f64 { rng.gen_range(0.5..1.5) };
+    let mut parallel: Vec<f64> = (0..parallel_count).map(|_| draw(&mut rng)).collect();
+    let mut serial: Vec<f64> = (0..serial_count).map(|_| draw(&mut rng)).collect();
+    let psum: f64 = parallel.iter().sum();
+    let ssum: f64 = serial.iter().sum();
+    // Renormalize so parallel time is exactly f of the total (time 1).
+    for d in &mut parallel {
+        *d *= if psum > 0.0 { f / psum } else { 0.0 };
+    }
+    for d in &mut serial {
+        *d *= if ssum > 0.0 { (1.0 - f) / ssum } else { 0.0 };
+    }
+    // Random interleave.
+    while !parallel.is_empty() || !serial.is_empty() {
+        let take_parallel = if serial.is_empty() {
+            true
+        } else if parallel.is_empty() {
+            false
+        } else {
+            rng.gen_bool(0.5)
+        };
+        if take_parallel {
+            out.push(Segment {
+                duration: parallel.pop().expect("non-empty"),
+                width: parallel_width.max(2),
+            });
+        } else {
+            out.push(Segment { duration: serial.pop().expect("non-empty"), width: 1 });
+        }
+    }
+    Trace::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimator_recovers_ground_truth() {
+        for &f in &[0.0, 0.5, 0.9, 0.99, 1.0] {
+            let trace = synthesize_trace(f, 1000, 64, 11);
+            assert!(
+                (trace.estimate_f() - f).abs() < 1e-9,
+                "f = {f}: got {}",
+                trace.estimate_f()
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_sums_to_one_and_matches_f() {
+        let trace = synthesize_trace(0.9, 500, 32, 3);
+        let hist = trace.width_histogram();
+        let total: f64 = hist.iter().map(|(_, t)| t).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let parallel_share: f64 =
+            hist.iter().filter(|(w, _)| *w > 1).map(|(_, t)| t).sum();
+        assert!((parallel_share - 0.9).abs() < 1e-9);
+        assert_eq!(hist.len(), 2); // widths 1 and 32
+    }
+
+    #[test]
+    fn empty_and_degenerate_traces() {
+        let empty = Trace::new(vec![]);
+        assert_eq!(empty.estimate_f(), 0.0);
+        assert!(empty.width_histogram().is_empty());
+        // Zero/NaN durations are dropped.
+        let cleaned = Trace::new(vec![
+            Segment { duration: 0.0, width: 4 },
+            Segment { duration: f64::NAN, width: 4 },
+            Segment { duration: 1.0, width: 1 },
+        ]);
+        assert_eq!(cleaned.segments().len(), 1);
+        assert_eq!(cleaned.estimate_f(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = synthesize_trace(0.75, 100, 16, 5);
+        let b = synthesize_trace(0.75, 100, 16, 5);
+        assert_eq!(a, b);
+        let c = synthesize_trace(0.75, 100, 16, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn trace_feeds_the_model_round_trip() {
+        // The methodological loop: synthesize -> estimate f -> project.
+        use ucore_workloads::Workload;
+        let trace = synthesize_trace(0.99, 2000, 128, 8);
+        let f = trace.estimate_f();
+        let workload = Workload::fft(1024).unwrap();
+        // A crude projection sanity: the estimated f drives Amdahl.
+        let ceiling = 1.0 / (1.0 - f);
+        assert!((ceiling - 100.0).abs() < 2.0);
+        assert_eq!(workload.size(), 1024);
+    }
+}

@@ -1,0 +1,89 @@
+//! The cumulative normal distribution.
+//!
+//! PARSEC's `blackscholes` uses the Abramowitz & Stegun 26.2.17
+//! five-coefficient polynomial approximation of the standard normal CDF
+//! (absolute error < 7.5e-8); the same approximation is used here so the
+//! kernel matches the measured workload's arithmetic mix.
+
+/// The standard normal probability density `φ(x)`.
+pub fn pdf(x: f64) -> f64 {
+    const INV_SQRT_TAU: f64 = 0.398_942_280_401_432_7; // 1/sqrt(2π)
+    INV_SQRT_TAU * (-0.5 * x * x).exp()
+}
+
+/// The cumulative standard normal distribution `Φ(x)` via the
+/// Abramowitz & Stegun polynomial.
+pub fn cnd(x: f64) -> f64 {
+    const B1: f64 = 0.319_381_530;
+    const B2: f64 = -0.356_563_782;
+    const B3: f64 = 1.781_477_937;
+    const B4: f64 = -1.821_255_978;
+    const B5: f64 = 1.330_274_429;
+    const P: f64 = 0.231_641_9;
+
+    let abs_x = x.abs();
+    let t = 1.0 / (1.0 + P * abs_x);
+    let poly = t * (B1 + t * (B2 + t * (B3 + t * (B4 + t * B5))));
+    let tail = pdf(abs_x) * poly;
+    if x >= 0.0 {
+        1.0 - tail
+    } else {
+        tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetry() {
+        for &x in &[0.1, 0.5, 1.0, 2.5, 4.0] {
+            assert!((cnd(x) + cnd(-x) - 1.0).abs() < 1e-7, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        // Standard normal table values.
+        assert!((cnd(0.0) - 0.5).abs() < 1e-7);
+        assert!((cnd(1.0) - 0.841_344_7).abs() < 1e-6);
+        assert!((cnd(1.96) - 0.975_002_1).abs() < 1e-6);
+        assert!((cnd(-1.0) - 0.158_655_3).abs() < 1e-6);
+        assert!((cnd(3.0) - 0.998_650_1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tails_saturate() {
+        assert!(cnd(8.0) > 1.0 - 1e-12);
+        assert!(cnd(-8.0) < 1e-12);
+    }
+
+    #[test]
+    fn monotone_increasing() {
+        let mut prev = cnd(-5.0);
+        let mut x = -5.0;
+        while x <= 5.0 {
+            let cur = cnd(x);
+            assert!(cur + 1e-9 >= prev, "not monotone at {x}");
+            prev = cur;
+            x += 0.01;
+        }
+    }
+
+    #[test]
+    fn derivative_matches_pdf() {
+        // Centered difference of the CDF approximates the density.
+        for &x in &[-2.0, -0.5, 0.0, 0.7, 1.9] {
+            let h = 1e-5;
+            let numeric = (cnd(x + h) - cnd(x - h)) / (2.0 * h);
+            assert!((numeric - pdf(x)).abs() < 1e-4, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn pdf_peak_and_symmetry() {
+        assert!((pdf(0.0) - 0.398_942_3).abs() < 1e-6);
+        assert!((pdf(1.5) - pdf(-1.5)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,203 @@
+//! Bluestein's chirp-z algorithm: FFTs of *arbitrary* length.
+//!
+//! The paper's kernels only need power-of-two transforms, but a tuned
+//! FFT library (Spiral, CUFFT) handles arbitrary sizes; this extension
+//! closes that gap. An `n`-point DFT is re-expressed as a linear
+//! convolution with a chirp sequence and evaluated with a power-of-two
+//! FFT of length `m ≥ 2n − 1`:
+//!
+//! `X_k = c_k · (a ⊛ b)_k`, where `a_j = x_j·c_j`,
+//! `c_j = e^(−iπ j²/n)`, and `b_j = conj(c_j)`.
+
+use super::radix2::Radix2Fft;
+use super::{Complex, Direction};
+use crate::kernel::WorkloadError;
+use std::f64::consts::PI;
+
+/// A planned arbitrary-length FFT.
+#[derive(Debug, Clone)]
+pub struct BluesteinFft {
+    size: usize,
+    m: usize,
+    inner: Radix2Fft,
+    chirp: Vec<Complex>,      // c_j = e^(-i pi j^2 / n)
+    kernel_fft: Vec<Complex>, // FFT of the padded b sequence
+}
+
+impl BluesteinFft {
+    /// Plans an `n`-point transform for any `n ≥ 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::ZeroSize`] for `n = 0`.
+    pub fn new(size: usize) -> Result<Self, WorkloadError> {
+        if size == 0 {
+            return Err(WorkloadError::ZeroSize { what: "transform size" });
+        }
+        let m = (2 * size - 1).next_power_of_two().max(2);
+        let inner = Radix2Fft::new(m)?;
+
+        // Chirp with the exponent reduced mod 2n for numeric stability.
+        let chirp: Vec<Complex> = (0..size)
+            .map(|j| {
+                let sq = (j as u128 * j as u128) % (2 * size as u128);
+                Complex::from_angle(-PI * sq as f64 / size as f64)
+            })
+            .collect();
+
+        // b padded to m with wrap-around symmetry: b'[0] = b[0],
+        // b'[j] = b'[m - j] = conj(c_j).
+        let mut b = vec![Complex::ZERO; m];
+        b[0] = chirp[0].conj();
+        for j in 1..size {
+            let v = chirp[j].conj();
+            b[j] = v;
+            b[m - j] = v;
+        }
+        inner.forward(&mut b);
+
+        Ok(BluesteinFft { size, m, inner, chirp, kernel_fft: b })
+    }
+
+    /// The transform size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The internal power-of-two convolution length.
+    pub fn convolution_size(&self) -> usize {
+        self.m
+    }
+
+    /// Transforms `data` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::LengthMismatch`] unless
+    /// `data.len() == size`.
+    pub fn transform(
+        &self,
+        data: &mut [Complex],
+        direction: Direction,
+    ) -> Result<(), WorkloadError> {
+        if data.len() != self.size {
+            return Err(WorkloadError::LengthMismatch {
+                expected: self.size,
+                actual: data.len(),
+            });
+        }
+        match direction {
+            Direction::Forward => {
+                self.forward(data);
+            }
+            Direction::Inverse => {
+                for v in data.iter_mut() {
+                    *v = v.conj();
+                }
+                self.forward(data);
+                let scale = 1.0 / self.size as f32;
+                for v in data.iter_mut() {
+                    *v = v.conj().scale(scale);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn forward(&self, data: &mut [Complex]) {
+        // a = x .* chirp, zero-padded to m.
+        let mut a = vec![Complex::ZERO; self.m];
+        for (j, x) in data.iter().enumerate() {
+            a[j] = *x * self.chirp[j];
+        }
+        self.inner.forward(&mut a);
+        // Pointwise multiply with the kernel's spectrum; inverse via the
+        // conjugate trick.
+        for (v, k) in a.iter_mut().zip(&self.kernel_fft) {
+            *v = (*v * *k).conj();
+        }
+        self.inner.forward(&mut a);
+        let scale = 1.0 / self.m as f32;
+        for (k, out) in data.iter_mut().enumerate() {
+            *out = a[k].conj().scale(scale) * self.chirp[k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::dft;
+    use crate::gen::random_signal;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f32) {
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((*x - *y).abs() < tol, "bin {i}: {x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_awkward_sizes() {
+        for &n in &[1usize, 2, 3, 5, 7, 11, 12, 60, 100, 127, 1000] {
+            let signal = random_signal(n, n as u64);
+            let mut fast = signal.clone();
+            BluesteinFft::new(n)
+                .unwrap()
+                .transform(&mut fast, Direction::Forward)
+                .unwrap();
+            let slow = dft::reference(&signal, Direction::Forward);
+            assert_close(&fast, &slow, 2e-2 * (n as f32).sqrt().max(1.0));
+        }
+    }
+
+    #[test]
+    fn agrees_with_radix2_on_powers_of_two() {
+        for &n in &[8usize, 64, 256] {
+            let signal = random_signal(n, 3);
+            let mut blue = signal.clone();
+            BluesteinFft::new(n)
+                .unwrap()
+                .transform(&mut blue, Direction::Forward)
+                .unwrap();
+            let mut r2 = signal;
+            Radix2Fft::new(n).unwrap().forward(&mut r2);
+            assert_close(&blue, &r2, 1e-2 * (n as f32).sqrt());
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for &n in &[5usize, 12, 97, 360] {
+            let signal = random_signal(n, 9);
+            let plan = BluesteinFft::new(n).unwrap();
+            let mut data = signal.clone();
+            plan.transform(&mut data, Direction::Forward).unwrap();
+            plan.transform(&mut data, Direction::Inverse).unwrap();
+            assert_close(&data, &signal, 5e-3);
+        }
+    }
+
+    #[test]
+    fn one_point_transform_is_identity() {
+        let plan = BluesteinFft::new(1).unwrap();
+        let mut data = vec![Complex::new(3.0, -2.0)];
+        plan.transform(&mut data, Direction::Forward).unwrap();
+        assert!((data[0] - Complex::new(3.0, -2.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn convolution_size_is_padded_power_of_two() {
+        let plan = BluesteinFft::new(100).unwrap();
+        assert!(plan.convolution_size().is_power_of_two());
+        assert!(plan.convolution_size() >= 199);
+        assert_eq!(plan.size(), 100);
+    }
+
+    #[test]
+    fn rejects_zero_and_wrong_lengths() {
+        assert!(BluesteinFft::new(0).is_err());
+        let plan = BluesteinFft::new(5).unwrap();
+        let mut short = vec![Complex::ZERO; 4];
+        assert!(plan.transform(&mut short, Direction::Forward).is_err());
+    }
+}

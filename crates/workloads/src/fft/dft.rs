@@ -1,0 +1,83 @@
+//! The O(N²) discrete Fourier transform — the correctness oracle.
+
+use super::{Complex, Direction};
+use std::f64::consts::TAU;
+
+/// Computes the DFT of `input` directly from the definition, accumulating
+/// in `f64`. Quadratic time; for testing only.
+///
+/// Forward: `X[k] = Σ_n x[n]·e^(−2πi·kn/N)`.
+/// Inverse: `x[n] = (1/N)·Σ_k X[k]·e^(+2πi·kn/N)`.
+pub fn reference(input: &[Complex], direction: Direction) -> Vec<Complex> {
+    let n = input.len();
+    let sign = match direction {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut re = 0.0f64;
+        let mut im = 0.0f64;
+        for (j, x) in input.iter().enumerate() {
+            let angle = sign * TAU * (k as f64) * (j as f64) / (n as f64);
+            let (s, c) = angle.sin_cos();
+            re += f64::from(x.re) * c - f64::from(x.im) * s;
+            im += f64::from(x.re) * s + f64::from(x.im) * c;
+        }
+        let scale = match direction {
+            Direction::Forward => 1.0,
+            Direction::Inverse => 1.0 / n as f64,
+        };
+        out.push(Complex::new((re * scale) as f32, (im * scale) as f32));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::ONE;
+        let spectrum = reference(&x, Direction::Forward);
+        for bin in spectrum {
+            assert!((bin.re - 1.0).abs() < 1e-6);
+            assert!(bin.im.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_its_bin() {
+        let n = 16;
+        let tone = 3usize;
+        let x: Vec<Complex> = (0..n)
+            .map(|j| Complex::from_angle(TAU * tone as f64 * j as f64 / n as f64))
+            .collect();
+        let spectrum = reference(&x, Direction::Forward);
+        for (k, bin) in spectrum.iter().enumerate() {
+            if k == tone {
+                assert!((bin.re - n as f32).abs() < 1e-3);
+            } else {
+                assert!(bin.abs() < 1e-3, "leakage in bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_then_inverse_is_identity() {
+        let x: Vec<Complex> = (0..8)
+            .map(|i| Complex::new(i as f32, -(i as f32) / 2.0))
+            .collect();
+        let back = reference(&reference(&x, Direction::Forward), Direction::Inverse);
+        for (a, b) in x.iter().zip(&back) {
+            assert!((*a - *b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn dft_of_empty_is_empty() {
+        assert!(reference(&[], Direction::Forward).is_empty());
+    }
+}

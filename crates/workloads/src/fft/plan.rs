@@ -1,0 +1,114 @@
+//! Shared FFT plumbing: twiddle-factor tables and digit-reversal
+//! permutations.
+
+use super::Complex;
+use std::f64::consts::TAU;
+
+/// Precomputed forward twiddles `W_N^k = e^(−2πik/N)` for
+/// `k = 0..N/2`.
+pub fn forward_twiddles(n: usize) -> Vec<Complex> {
+    (0..n / 2)
+        .map(|k| Complex::from_angle(-TAU * k as f64 / n as f64))
+        .collect()
+}
+
+/// The bit-reversal permutation of `0..n` for power-of-two `n`.
+pub fn bit_reversal(n: usize) -> Vec<usize> {
+    let bits = n.trailing_zeros();
+    (0..n)
+        .map(|i| (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1))
+        .collect()
+}
+
+/// The base-4 digit-reversal permutation of `0..n` for `n` a power of 4.
+pub fn digit4_reversal(n: usize) -> Vec<usize> {
+    let pairs = n.trailing_zeros() / 2;
+    (0..n)
+        .map(|i| {
+            let mut x = i;
+            let mut out = 0usize;
+            for _ in 0..pairs {
+                out = (out << 2) | (x & 3);
+                x >>= 2;
+            }
+            out
+        })
+        .collect()
+}
+
+/// Applies a permutation in place: `data'[perm[i]] <- data[i]` is *not*
+/// what we want — reorder so `data'[i] = data[perm[i]]`, swapping lazily
+/// (each 2-cycle swapped once).
+pub fn permute_in_place(data: &mut [Complex], perm: &[usize]) {
+    debug_assert_eq!(data.len(), perm.len());
+    for (i, &j) in perm.iter().enumerate() {
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twiddles_start_at_one_and_rotate_clockwise() {
+        let tw = forward_twiddles(8);
+        assert_eq!(tw.len(), 4);
+        assert!((tw[0].re - 1.0).abs() < 1e-6);
+        assert!(tw[0].im.abs() < 1e-6);
+        // W_8^2 = e^{-i pi/2} = -i.
+        assert!(tw[2].re.abs() < 1e-6);
+        assert!((tw[2].im + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bit_reversal_is_involution() {
+        for &n in &[2usize, 8, 64, 1024] {
+            let p = bit_reversal(n);
+            for i in 0..n {
+                assert_eq!(p[p[i]], i, "n = {n}, i = {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_reversal_small_case() {
+        assert_eq!(bit_reversal(8), vec![0, 4, 2, 6, 1, 5, 3, 7]);
+    }
+
+    #[test]
+    fn digit4_reversal_is_involution_and_permutation() {
+        for &n in &[4usize, 16, 256, 1024] {
+            let p = digit4_reversal(n);
+            let mut seen = vec![false; n];
+            for i in 0..n {
+                assert_eq!(p[p[i]], i, "n = {n}, i = {i}");
+                assert!(!seen[p[i]], "duplicate image");
+                seen[p[i]] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn digit4_small_case() {
+        // Base-4 digits of 0..16 reversed: 0,4,8,12, 1,5,9,13, ...
+        assert_eq!(
+            digit4_reversal(16),
+            vec![0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15]
+        );
+    }
+
+    #[test]
+    fn permute_in_place_matches_gather() {
+        let n = 16;
+        let perm = bit_reversal(n);
+        let data: Vec<Complex> =
+            (0..n).map(|i| Complex::new(i as f32, 0.0)).collect();
+        let mut in_place = data.clone();
+        permute_in_place(&mut in_place, &perm);
+        let gathered: Vec<Complex> = perm.iter().map(|&j| data[j]).collect();
+        assert_eq!(in_place, gathered);
+    }
+}

@@ -1,0 +1,117 @@
+//! Iterative radix-2 decimation-in-time FFT.
+
+use super::plan::{bit_reversal, forward_twiddles, permute_in_place};
+use super::Complex;
+use crate::kernel::WorkloadError;
+
+/// A planned radix-2 FFT: twiddles and the bit-reversal permutation are
+/// computed once and reused across transforms, as a throughput-driven
+/// kernel would.
+#[derive(Debug, Clone)]
+pub struct Radix2Fft {
+    size: usize,
+    twiddles: Vec<Complex>,
+    reversal: Vec<usize>,
+}
+
+impl Radix2Fft {
+    /// Plans a transform of `size` points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::NotPowerOfTwo`] unless `size` is a power
+    /// of two and at least 2.
+    pub fn new(size: usize) -> Result<Self, WorkloadError> {
+        if size < 2 || !size.is_power_of_two() {
+            return Err(WorkloadError::NotPowerOfTwo { size });
+        }
+        Ok(Radix2Fft {
+            size,
+            twiddles: forward_twiddles(size),
+            reversal: bit_reversal(size),
+        })
+    }
+
+    /// The transform size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Forward transform, in place.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `data.len()` equals the planned size; the
+    /// public entry point is [`super::Fft::transform`], which validates.
+    pub fn forward(&self, data: &mut [Complex]) {
+        debug_assert_eq!(data.len(), self.size);
+        permute_in_place(data, &self.reversal);
+        let n = self.size;
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let w = self.twiddles[k * stride];
+                    let a = data[start + k];
+                    let b = data[start + k + half] * w;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            len *= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::dft;
+    use crate::fft::Direction;
+    use crate::gen::random_signal;
+
+    #[test]
+    fn matches_reference_for_all_small_sizes() {
+        for &n in &[2usize, 4, 8, 16, 32, 64, 128, 512] {
+            let signal = random_signal(n, 42);
+            let mut fast = signal.clone();
+            Radix2Fft::new(n).unwrap().forward(&mut fast);
+            let slow = dft::reference(&signal, Direction::Forward);
+            for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                assert!(
+                    (*a - *b).abs() < 1e-2 * (n as f32).sqrt(),
+                    "n = {n}, bin {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_point_butterfly() {
+        let fft = Radix2Fft::new(2).unwrap();
+        let mut data = [Complex::new(1.0, 0.0), Complex::new(2.0, 0.0)];
+        fft.forward(&mut data);
+        assert!((data[0].re - 3.0).abs() < 1e-6);
+        assert!((data[1].re + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn plan_is_reusable() {
+        let fft = Radix2Fft::new(64).unwrap();
+        let a = random_signal(64, 1);
+        let mut first = a.clone();
+        fft.forward(&mut first);
+        let mut second = a;
+        fft.forward(&mut second);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(Radix2Fft::new(0).is_err());
+        assert!(Radix2Fft::new(1).is_err());
+        assert!(Radix2Fft::new(6).is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! Iterative radix-4 decimation-in-time FFT for sizes that are powers of
+//! four.
+//!
+//! Radix-4 butterflies replace half of radix-2's complex multiplies with
+//! free multiplications by `±i`, which is the first structural
+//! optimization Spiral-class generators apply; having both radices lets
+//! the throughput harness compare them.
+
+use super::plan::{digit4_reversal, permute_in_place};
+use super::Complex;
+use crate::kernel::WorkloadError;
+use std::f64::consts::TAU;
+
+/// A planned radix-4 FFT.
+#[derive(Debug, Clone)]
+pub struct Radix4Fft {
+    size: usize,
+    // Full table W_n^k for k in 0..n: radix-4 needs powers up to 3n/4.
+    twiddles: Vec<Complex>,
+    reversal: Vec<usize>,
+}
+
+impl Radix4Fft {
+    /// Plans a transform of `size` points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::NotPowerOfTwo`] unless `size` is a power
+    /// of **four** and at least 4.
+    pub fn new(size: usize) -> Result<Self, WorkloadError> {
+        let is_power_of_four =
+            size >= 4 && size.is_power_of_two() && size.trailing_zeros().is_multiple_of(2);
+        if !is_power_of_four {
+            return Err(WorkloadError::NotPowerOfTwo { size });
+        }
+        let twiddles = (0..size)
+            .map(|k| Complex::from_angle(-TAU * k as f64 / size as f64))
+            .collect();
+        Ok(Radix4Fft {
+            size,
+            twiddles,
+            reversal: digit4_reversal(size),
+        })
+    }
+
+    /// The transform size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Forward transform, in place.
+    pub fn forward(&self, data: &mut [Complex]) {
+        debug_assert_eq!(data.len(), self.size);
+        permute_in_place(data, &self.reversal);
+        let n = self.size;
+        let mut len = 4;
+        while len <= n {
+            let quarter = len / 4;
+            let stride = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..quarter {
+                    let w1 = self.twiddles[k * stride];
+                    let w2 = self.twiddles[2 * k * stride];
+                    let w3 = self.twiddles[3 * k * stride];
+                    let a = data[start + k];
+                    let b = data[start + k + quarter] * w1;
+                    let c = data[start + k + 2 * quarter] * w2;
+                    let d = data[start + k + 3 * quarter] * w3;
+                    let t0 = a + c;
+                    let t1 = a - c;
+                    let t2 = b + d;
+                    // -i * (b - d): the free quarter-turn.
+                    let bd = b - d;
+                    let t3 = Complex::new(bd.im, -bd.re);
+                    data[start + k] = t0 + t2;
+                    data[start + k + quarter] = t1 + t3;
+                    data[start + k + 2 * quarter] = t0 - t2;
+                    data[start + k + 3 * quarter] = t1 - t3;
+                }
+            }
+            len *= 4;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::radix2::Radix2Fft;
+    use crate::fft::{dft, Direction};
+    use crate::gen::random_signal;
+
+    #[test]
+    fn rejects_non_powers_of_four() {
+        assert!(Radix4Fft::new(2).is_err());
+        assert!(Radix4Fft::new(8).is_err());
+        assert!(Radix4Fft::new(32).is_err());
+        assert!(Radix4Fft::new(12).is_err());
+        assert!(Radix4Fft::new(4).is_ok());
+        assert!(Radix4Fft::new(1024).is_ok());
+    }
+
+    #[test]
+    fn four_point_matches_dft() {
+        let signal = random_signal(4, 5);
+        let mut fast = signal.clone();
+        Radix4Fft::new(4).unwrap().forward(&mut fast);
+        let slow = dft::reference(&signal, Direction::Forward);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((*a - *b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matches_reference_dft() {
+        for &n in &[4usize, 16, 64, 256] {
+            let signal = random_signal(n, 9);
+            let mut fast = signal.clone();
+            Radix4Fft::new(n).unwrap().forward(&mut fast);
+            let slow = dft::reference(&signal, Direction::Forward);
+            for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                assert!(
+                    (*a - *b).abs() < 1e-2 * (n as f32).sqrt(),
+                    "n = {n}, bin {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_radix2_on_common_sizes() {
+        for &n in &[16usize, 256, 1024, 4096] {
+            let signal = random_signal(n, 13);
+            let mut r4 = signal.clone();
+            Radix4Fft::new(n).unwrap().forward(&mut r4);
+            let mut r2 = signal;
+            Radix2Fft::new(n).unwrap().forward(&mut r2);
+            for (i, (a, b)) in r4.iter().zip(&r2).enumerate() {
+                assert!(
+                    (*a - *b).abs() < 1e-2 * (n as f32).sqrt(),
+                    "n = {n}, bin {i}"
+                );
+            }
+        }
+    }
+}

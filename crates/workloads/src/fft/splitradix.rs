@@ -1,0 +1,191 @@
+//! Recursive split-radix FFT.
+//!
+//! The split-radix decomposition — even samples through a half-size
+//! transform, odd samples through two quarter-size transforms — achieves
+//! the lowest classical operation count (`4N·log2 N − 6N + 8` real
+//! FLOPs), which is why Spiral-generated kernels favor it. Including it
+//! alongside radix-2/4 lets the throughput harness compare all three
+//! decompositions of the same transform.
+
+use super::{Complex, Direction};
+use crate::kernel::WorkloadError;
+use std::f64::consts::TAU;
+
+/// A planned split-radix FFT of a power-of-two size.
+#[derive(Debug, Clone)]
+pub struct SplitRadixFft {
+    size: usize,
+    // Full twiddle table W_N^k for k in 0..N (simple and uniform across
+    // the recursion levels; each level strides into it).
+    twiddles: Vec<Complex>,
+}
+
+impl SplitRadixFft {
+    /// Plans a transform of `size` points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::NotPowerOfTwo`] unless `size` is a power
+    /// of two and at least 2.
+    pub fn new(size: usize) -> Result<Self, WorkloadError> {
+        if size < 2 || !size.is_power_of_two() {
+            return Err(WorkloadError::NotPowerOfTwo { size });
+        }
+        let twiddles = (0..size)
+            .map(|k| Complex::from_angle(-TAU * k as f64 / size as f64))
+            .collect();
+        Ok(SplitRadixFft { size, twiddles })
+    }
+
+    /// The transform size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Transforms `data`, returning the spectrum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::LengthMismatch`] unless
+    /// `data.len() == size`.
+    pub fn transform(
+        &self,
+        data: &[Complex],
+        direction: Direction,
+    ) -> Result<Vec<Complex>, WorkloadError> {
+        if data.len() != self.size {
+            return Err(WorkloadError::LengthMismatch {
+                expected: self.size,
+                actual: data.len(),
+            });
+        }
+        match direction {
+            Direction::Forward => Ok(self.recurse(data, 1)),
+            Direction::Inverse => {
+                let conjugated: Vec<Complex> = data.iter().map(|c| c.conj()).collect();
+                let spectrum = self.recurse(&conjugated, 1);
+                let scale = 1.0 / self.size as f32;
+                Ok(spectrum.iter().map(|c| c.conj().scale(scale)).collect())
+            }
+        }
+    }
+
+    /// The split-radix recursion on a strided view: `data` holds `n`
+    /// points at the current level, `stride` maps level-local twiddle
+    /// indices into the root table.
+    fn recurse(&self, data: &[Complex], stride: usize) -> Vec<Complex> {
+        let n = data.len();
+        if n == 1 {
+            return data.to_vec();
+        }
+        if n == 2 {
+            return vec![data[0] + data[1], data[0] - data[1]];
+        }
+        // Split: evens, odds ≡ 1 (mod 4), odds ≡ 3 (mod 4).
+        let even: Vec<Complex> = data.iter().step_by(2).copied().collect();
+        let odd1: Vec<Complex> = data.iter().skip(1).step_by(4).copied().collect();
+        let odd3: Vec<Complex> = data.iter().skip(3).step_by(4).copied().collect();
+
+        let u = self.recurse(&even, stride * 2);
+        let z1 = self.recurse(&odd1, stride * 4);
+        let z3 = self.recurse(&odd3, stride * 4);
+
+        let quarter = n / 4;
+        let half = n / 2;
+        let mut out = vec![Complex::ZERO; n];
+        for k in 0..quarter {
+            let w1 = self.twiddles[k * stride];
+            let w3 = self.twiddles[(3 * k * stride) % self.twiddles.len()];
+            let t1 = w1 * z1[k];
+            let t3 = w3 * z3[k];
+            let sum = t1 + t3;
+            // i * (t1 - t3).
+            let diff_i = (t1 - t3).mul_i();
+            out[k] = u[k] + sum;
+            out[k + half] = u[k] - sum;
+            out[k + quarter] = u[k + quarter] - diff_i;
+            out[k + 3 * quarter] = u[k + quarter] + diff_i;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::radix2::Radix2Fft;
+    use crate::fft::{dft, Fft};
+    use crate::gen::random_signal;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f32) {
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((*x - *y).abs() < tol, "bin {i}: {x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_dft() {
+        for &n in &[2usize, 4, 8, 16, 32, 64, 128, 256] {
+            let signal = random_signal(n, 31);
+            let spectrum = SplitRadixFft::new(n)
+                .unwrap()
+                .transform(&signal, Direction::Forward)
+                .unwrap();
+            let reference = dft::reference(&signal, Direction::Forward);
+            assert_close(&spectrum, &reference, 1e-2 * (n as f32).sqrt());
+        }
+    }
+
+    #[test]
+    fn agrees_with_radix2_and_the_planner() {
+        for &n in &[64usize, 512, 1024, 4096] {
+            let signal = random_signal(n, 33);
+            let split = SplitRadixFft::new(n)
+                .unwrap()
+                .transform(&signal, Direction::Forward)
+                .unwrap();
+            let mut r2 = signal.clone();
+            Radix2Fft::new(n).unwrap().forward(&mut r2);
+            assert_close(&split, &r2, 1e-2 * (n as f32).sqrt());
+            let mut planned = signal;
+            Fft::new(n)
+                .unwrap()
+                .transform(&mut planned, Direction::Forward)
+                .unwrap();
+            assert_close(&split, &planned, 1e-2 * (n as f32).sqrt());
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for &n in &[8usize, 64, 1024] {
+            let signal = random_signal(n, 35);
+            let plan = SplitRadixFft::new(n).unwrap();
+            let spectrum = plan.transform(&signal, Direction::Forward).unwrap();
+            let back = plan.transform(&spectrum, Direction::Inverse).unwrap();
+            assert_close(&back, &signal, 1e-3);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(SplitRadixFft::new(0).is_err());
+        assert!(SplitRadixFft::new(3).is_err());
+        let plan = SplitRadixFft::new(8).unwrap();
+        let short = vec![Complex::ZERO; 4];
+        assert!(plan.transform(&short, Direction::Forward).is_err());
+    }
+
+    #[test]
+    fn two_point_base_case() {
+        let plan = SplitRadixFft::new(2).unwrap();
+        let out = plan
+            .transform(
+                &[Complex::new(1.0, 0.0), Complex::new(2.0, 0.0)],
+                Direction::Forward,
+            )
+            .unwrap();
+        assert!((out[0].re - 3.0).abs() < 1e-6);
+        assert!((out[1].re + 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,87 @@
+//! Deterministic input generators for the kernels.
+//!
+//! Everything is seeded, so tests, benchmarks and the measurement harness
+//! are reproducible run to run.
+
+use crate::blackscholes::OptionParams;
+use crate::fft::Complex;
+use crate::mmm::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random matrix with entries uniform in `[-1, 1)`.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero (matching [`Matrix::zeros`]).
+pub fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.gen_range(-1.0f32..1.0);
+    }
+    m
+}
+
+/// A random complex signal with components uniform in `[-1, 1)`.
+pub fn random_signal(len: usize, seed: u64) -> Vec<Complex> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| Complex::new(rng.gen_range(-1.0f32..1.0), rng.gen_range(-1.0f32..1.0)))
+        .collect()
+}
+
+/// A random option portfolio with PARSEC-like parameter ranges: spot and
+/// strike in `[5, 250)`, rate in `[0, 10%)`, volatility in `[5%, 90%)`,
+/// expiry in `[0.05, 4)` years.
+pub fn random_portfolio(len: usize, seed: u64) -> Vec<OptionParams> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            OptionParams::new(
+                rng.gen_range(5.0f32..250.0),
+                rng.gen_range(5.0f32..250.0),
+                rng.gen_range(0.0f32..0.10),
+                rng.gen_range(0.05f32..0.90),
+                rng.gen_range(0.05f32..4.0),
+            )
+            .expect("generated ranges are valid")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_output() {
+        assert_eq!(random_matrix(4, 4, 9), random_matrix(4, 4, 9));
+        assert_eq!(random_signal(16, 9), random_signal(16, 9));
+        assert_eq!(random_portfolio(8, 9), random_portfolio(8, 9));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(random_matrix(4, 4, 1), random_matrix(4, 4, 2));
+        assert_ne!(random_signal(16, 1), random_signal(16, 2));
+    }
+
+    #[test]
+    fn values_in_expected_ranges() {
+        let m = random_matrix(8, 8, 3);
+        assert!(m.as_slice().iter().all(|v| (-1.0..1.0).contains(v)));
+        for p in random_portfolio(100, 4) {
+            assert!(p.spot >= 5.0 && p.spot < 250.0);
+            assert!(p.volatility >= 0.05 && p.volatility < 0.90);
+            assert!(p.time >= 0.05 && p.time < 4.0);
+        }
+    }
+
+    #[test]
+    fn requested_lengths() {
+        assert_eq!(random_signal(0, 1).len(), 0);
+        assert_eq!(random_signal(37, 1).len(), 37);
+        assert_eq!(random_portfolio(12, 1).len(), 12);
+    }
+}

@@ -1,0 +1,79 @@
+//! Closed-form arithmetic-intensity formulas (footnotes 2 and 3).
+//!
+//! These free functions duplicate what [`crate::Workload`] computes from
+//! first principles, in the exact symbolic form the paper quotes; tests
+//! assert the two agree, which guards both against transcription errors.
+
+/// FFT arithmetic intensity in FLOPs per byte for a 32-bit, `n`-point
+/// transform: `5N log2 N / 16N = 0.3125 · log2 N` (footnote 2).
+pub fn fft_flops_per_byte(n: usize) -> f64 {
+    0.3125 * (n as f64).log2()
+}
+
+/// MMM arithmetic intensity in FLOPs per byte for 32-bit inputs blocked
+/// at `n`: `2N³ / (2·4N²) = N/4` (footnote 3).
+pub fn mmm_flops_per_byte(n: usize) -> f64 {
+    n as f64 / 4.0
+}
+
+/// Black-Scholes compulsory traffic per option, in bytes (Section 6).
+pub fn bs_bytes_per_option() -> f64 {
+    crate::kernel::BS_BYTES_PER_OPTION
+}
+
+/// FFT-1024 compulsory bandwidth in bytes per FLOP, the number the paper
+/// quotes as `0.32 bytes/flop`.
+pub fn fft_1024_bytes_per_flop() -> f64 {
+    1.0 / fft_flops_per_byte(1024)
+}
+
+/// MMM compulsory bandwidth at the paper's blocking (`N = 128`), quoted
+/// as `0.0313 bytes/flop`.
+pub fn mmm_blocked_bytes_per_flop() -> f64 {
+    1.0 / mmm_flops_per_byte(crate::kernel::MMM_PAPER_BLOCK)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+
+    #[test]
+    fn formulas_agree_with_workload_model() {
+        for &n in &[16usize, 64, 1024, 16384] {
+            let w = Workload::fft(n).unwrap();
+            assert!((w.arithmetic_intensity() - fft_flops_per_byte(n)).abs() < 1e-12);
+        }
+        for &n in &[32usize, 128, 2048] {
+            let w = Workload::mmm(n).unwrap();
+            assert!((w.arithmetic_intensity() - mmm_flops_per_byte(n)).abs() < 1e-12);
+        }
+        assert_eq!(
+            Workload::black_scholes().compulsory_bytes_per_unit(),
+            bs_bytes_per_option()
+        );
+    }
+
+    #[test]
+    fn paper_quoted_values() {
+        assert!((fft_1024_bytes_per_flop() - 0.32).abs() < 0.001);
+        assert!((mmm_blocked_bytes_per_flop() - 0.0313).abs() < 0.0001);
+    }
+
+    #[test]
+    fn intensity_grows_with_size() {
+        assert!(fft_flops_per_byte(2048) > fft_flops_per_byte(1024));
+        assert!(mmm_flops_per_byte(256) > mmm_flops_per_byte(128));
+    }
+
+    #[test]
+    fn asic_mmm_blocking_supports_bandwidth_exemption() {
+        // Section 6 exempts the ASIC MMM core from the bandwidth bound
+        // because its 40 nm design blocks at N >= 2048: intensity 512
+        // flops/byte, 16x the paper's default blocking.
+        let default_ai = mmm_flops_per_byte(128);
+        let asic_ai = mmm_flops_per_byte(2048);
+        assert!((asic_ai / default_ai - 16.0).abs() < 1e-12);
+        assert!(asic_ai >= 512.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! The textbook triple-loop matrix product — the correctness reference.
+
+use super::{check_shapes, Matrix};
+use crate::kernel::WorkloadError;
+
+/// Computes `C = A·B` with the classic `i, j, k` loop nest, accumulating
+/// in `f64` for a tighter reference against which the tuned kernels are
+/// validated.
+///
+/// ```
+/// use ucore_workloads::mmm::{naive, Matrix};
+/// let a = Matrix::from_slice(2, 2, &[1.0, 2.0, 3.0, 4.0])?;
+/// let b = Matrix::identity(2);
+/// let c = naive::multiply(&a, &b)?;
+/// assert_eq!(c, a);
+/// # Ok::<(), ucore_workloads::WorkloadError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::LengthMismatch`] if `a.cols() != b.rows()`.
+pub fn multiply(a: &Matrix, b: &Matrix) -> Result<Matrix, WorkloadError> {
+    let (m, n) = check_shapes(a, b)?;
+    let k_dim = a.cols();
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for k in 0..k_dim {
+                acc += f64::from(a.get(i, k)) * f64::from(b.get(k, j));
+            }
+            c.set(i, j, acc as f32);
+        }
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_by_two() {
+        let a = Matrix::from_slice(2, 2, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Matrix::from_slice(2, 2, &[5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = multiply(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::from_slice(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let c = multiply(&a, &Matrix::identity(3)).unwrap();
+        assert_eq!(c, a);
+        let c2 = multiply(&Matrix::identity(2), &a).unwrap();
+        assert_eq!(c2, a);
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = Matrix::from_slice(1, 3, &[1.0, 2.0, 3.0]).unwrap();
+        let b = Matrix::from_slice(3, 1, &[4.0, 5.0, 6.0]).unwrap();
+        let c = multiply(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[32.0]);
+    }
+
+    #[test]
+    fn mismatched_shapes_rejected() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(multiply(&a, &b).is_err());
+    }
+
+    #[test]
+    fn zero_matrix_annihilates() {
+        let a = Matrix::zeros(3, 3);
+        let b = Matrix::identity(3);
+        let c = multiply(&a, &b).unwrap();
+        assert!(c.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,208 @@
+//! Strassen's sub-cubic matrix multiplication.
+//!
+//! A tuned MMM library (MKL-class) carries more than one algorithm; this
+//! variant trades the eighth recursive multiplication for extra
+//! additions (`O(n^2.807)`), recursing on power-of-two-padded operands
+//! and falling back to the blocked kernel below a crossover size. Beyond
+//! completeness, it exercises the arithmetic-intensity machinery with a
+//! kernel whose FLOP count *differs* from the `2N³` convention — a
+//! reminder that the model's "operations" are a unit of account, not a
+//! law of nature.
+
+use super::blocked;
+use super::{check_shapes, Matrix};
+use crate::kernel::WorkloadError;
+
+/// Below this dimension, recursion stops and the blocked kernel runs.
+pub const CROSSOVER: usize = 64;
+
+/// Computes `C = A·B` with Strassen's algorithm.
+///
+/// ```
+/// use ucore_workloads::mmm::{naive, strassen, Matrix};
+/// use ucore_workloads::gen::random_matrix;
+/// let a = random_matrix(48, 48, 1);
+/// let b = random_matrix(48, 48, 2);
+/// let fast = strassen::multiply(&a, &b)?;
+/// let reference = naive::multiply(&a, &b)?;
+/// assert!(fast.max_abs_diff(&reference) < 1e-2);
+/// # Ok::<(), ucore_workloads::WorkloadError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::LengthMismatch`] for non-conformable shapes.
+pub fn multiply(a: &Matrix, b: &Matrix) -> Result<Matrix, WorkloadError> {
+    let (m, n) = check_shapes(a, b)?;
+    let k = a.cols();
+    // Pad to a square power of two that fits all three dimensions.
+    let dim = m.max(k).max(n).next_power_of_two().max(1);
+    let pa = pad(a, dim);
+    let pb = pad(b, dim);
+    let pc = strassen_square(&pa, &pb, dim);
+    Ok(crop(&pc, m, n))
+}
+
+fn pad(src: &Matrix, dim: usize) -> Matrix {
+    let mut out = Matrix::zeros(dim, dim);
+    for r in 0..src.rows() {
+        for c in 0..src.cols() {
+            out.set(r, c, src.get(r, c));
+        }
+    }
+    out
+}
+
+fn crop(src: &Matrix, rows: usize, cols: usize) -> Matrix {
+    let mut out = Matrix::zeros(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            out.set(r, c, src.get(r, c));
+        }
+    }
+    out
+}
+
+fn add(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), a.cols());
+    for (o, (&x, &y)) in out
+        .as_mut_slice()
+        .iter_mut()
+        .zip(a.as_slice().iter().zip(b.as_slice()))
+    {
+        *o = x + y;
+    }
+    out
+}
+
+fn sub(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), a.cols());
+    for (o, (&x, &y)) in out
+        .as_mut_slice()
+        .iter_mut()
+        .zip(a.as_slice().iter().zip(b.as_slice()))
+    {
+        *o = x - y;
+    }
+    out
+}
+
+fn quadrant(src: &Matrix, row0: usize, col0: usize, half: usize) -> Matrix {
+    let mut out = Matrix::zeros(half, half);
+    for r in 0..half {
+        for c in 0..half {
+            out.set(r, c, src.get(row0 + r, col0 + c));
+        }
+    }
+    out
+}
+
+fn strassen_square(a: &Matrix, b: &Matrix, dim: usize) -> Matrix {
+    if dim <= CROSSOVER {
+        return blocked::multiply(a, b, 32).expect("square operands are conformable");
+    }
+    let h = dim / 2;
+    let a11 = quadrant(a, 0, 0, h);
+    let a12 = quadrant(a, 0, h, h);
+    let a21 = quadrant(a, h, 0, h);
+    let a22 = quadrant(a, h, h, h);
+    let b11 = quadrant(b, 0, 0, h);
+    let b12 = quadrant(b, 0, h, h);
+    let b21 = quadrant(b, h, 0, h);
+    let b22 = quadrant(b, h, h, h);
+
+    let m1 = strassen_square(&add(&a11, &a22), &add(&b11, &b22), h);
+    let m2 = strassen_square(&add(&a21, &a22), &b11, h);
+    let m3 = strassen_square(&a11, &sub(&b12, &b22), h);
+    let m4 = strassen_square(&a22, &sub(&b21, &b11), h);
+    let m5 = strassen_square(&add(&a11, &a12), &b22, h);
+    let m6 = strassen_square(&sub(&a21, &a11), &add(&b11, &b12), h);
+    let m7 = strassen_square(&sub(&a12, &a22), &add(&b21, &b22), h);
+
+    let c11 = add(&sub(&add(&m1, &m4), &m5), &m7);
+    let c12 = add(&m3, &m5);
+    let c21 = add(&m2, &m4);
+    let c22 = add(&add(&sub(&m1, &m2), &m3), &m6);
+
+    let mut out = Matrix::zeros(dim, dim);
+    for r in 0..h {
+        for c in 0..h {
+            out.set(r, c, c11.get(r, c));
+            out.set(r, c + h, c12.get(r, c));
+            out.set(r + h, c, c21.get(r, c));
+            out.set(r + h, c + h, c22.get(r, c));
+        }
+    }
+    out
+}
+
+/// Strassen's multiplication count for a padded `n×n` product (`n` a
+/// power of two above the crossover): `7^levels` base multiplies of
+/// crossover-size blocks, versus `8^levels` for the classical recursion.
+pub fn base_multiplications(n: usize) -> u64 {
+    let n = n.next_power_of_two();
+    let mut levels = 0u32;
+    let mut dim = n;
+    while dim > CROSSOVER {
+        levels += 1;
+        dim /= 2;
+    }
+    7u64.pow(levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_matrix;
+    use crate::mmm::naive;
+
+    #[test]
+    fn matches_naive_below_and_above_crossover() {
+        for &n in &[4usize, 32, 65, 96, 130] {
+            let a = random_matrix(n, n, n as u64);
+            let b = random_matrix(n, n, n as u64 + 1);
+            let fast = multiply(&a, &b).unwrap();
+            let reference = naive::multiply(&a, &b).unwrap();
+            // Strassen's extra additions cost some f32 accuracy; scale
+            // tolerance with the recursion depth.
+            assert!(
+                fast.max_abs_diff(&reference) < 1e-3 * (n as f32),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_rectangular_shapes_via_padding() {
+        let a = random_matrix(30, 70, 1);
+        let b = random_matrix(70, 50, 2);
+        let fast = multiply(&a, &b).unwrap();
+        let reference = naive::multiply(&a, &b).unwrap();
+        assert_eq!(fast.rows(), 30);
+        assert_eq!(fast.cols(), 50);
+        assert!(fast.max_abs_diff(&reference) < 0.1);
+    }
+
+    #[test]
+    fn rejects_mismatched_shapes() {
+        let a = Matrix::zeros(3, 4);
+        let b = Matrix::zeros(5, 3);
+        assert!(multiply(&a, &b).is_err());
+    }
+
+    #[test]
+    fn identity_round_trip() {
+        let a = random_matrix(100, 100, 9);
+        let c = multiply(&a, &Matrix::identity(100)).unwrap();
+        assert!(c.max_abs_diff(&a) < 1e-3);
+    }
+
+    #[test]
+    fn base_multiplication_count_shrinks_vs_classical() {
+        // Two levels above the crossover: 49 vs 64 block products.
+        assert_eq!(base_multiplications(256), 49);
+        assert_eq!(base_multiplications(128), 7);
+        assert_eq!(base_multiplications(64), 1);
+        assert_eq!(base_multiplications(CROSSOVER / 2), 1);
+    }
+}

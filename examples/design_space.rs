@@ -1,0 +1,67 @@
+//! Design-space exploration: which U-core wins, for which workload, at
+//! which parallelism — the decision a heterogeneous-multicore architect
+//! faces in Section 6 of the paper.
+//!
+//! Run with `cargo run --example design_space`.
+
+use ucore::calibrate::WorkloadColumn;
+use ucore::model::ParallelFraction;
+use ucore::project::{DesignId, ProjectionEngine, Scenario};
+use ucore::report::{Align, Table};
+use ucore_devices::TechNode;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let engine = ProjectionEngine::new(Scenario::baseline())?;
+    let node = TechNode::N22; // mid-roadmap decision point
+
+    for column in [WorkloadColumn::Fft1024, WorkloadColumn::Mmm, WorkloadColumn::Bs] {
+        println!("== {} at {node} ==", column.label());
+        let designs = DesignId::for_column(engine.table5(), column);
+        let mut table = Table::new(vec![
+            "design".into(),
+            "f=0.5".into(),
+            "f=0.9".into(),
+            "f=0.99".into(),
+            "f=0.999".into(),
+            "limiter @0.99".into(),
+        ]);
+        for col in 1..=4 {
+            table.align(col, Align::Right);
+        }
+        for design in designs {
+            let mut row = vec![design.label()];
+            let mut limiter = String::from("-");
+            for fv in [0.5, 0.9, 0.99, 0.999] {
+                let f = ParallelFraction::new(fv)?;
+                let points = engine.project(design, column, f)?;
+                match points.iter().find(|p| p.node == node) {
+                    Some(p) => {
+                        row.push(format!("{:.1}", p.speedup));
+                        if (fv - 0.99).abs() < 1e-9 {
+                            limiter = p.limiter.to_string();
+                        }
+                    }
+                    None => row.push("-".into()),
+                }
+            }
+            row.push(limiter);
+            table.row(row);
+        }
+        println!("{table}");
+
+        // The architect's takeaway, computed rather than eyeballed.
+        let f99 = ParallelFraction::new(0.99)?;
+        let mut best: Option<(String, f64)> = None;
+        for design in DesignId::for_column(engine.table5(), column) {
+            if let Some(s) = engine.speedup_at(design, column, node, f99) {
+                if best.as_ref().is_none_or(|(_, b)| s > *b) {
+                    best = Some((design.label(), s));
+                }
+            }
+        }
+        if let Some((label, speedup)) = best {
+            println!("winner at f = 0.99: {label} with {speedup:.1}x\n");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! A mobile SoC study: the paper's scenario 5 (10 W) made concrete.
+//!
+//! Under a phone-class power budget, which U-cores still earn their
+//! silicon — and does the paper's claim hold that "only the ASIC-based
+//! HETs can ever approach bandwidth-limited performance"?
+//!
+//! Run with `cargo run --example mobile_soc`.
+
+use ucore::calibrate::WorkloadColumn;
+use ucore::model::{Limiter, ParallelFraction};
+use ucore::project::{DesignId, ProjectionEngine, Scenario};
+use ucore_devices::{DeviceId, TechNode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let desktop = ProjectionEngine::new(Scenario::baseline())?;
+    let mobile = ProjectionEngine::new(Scenario::s5_low_power())?;
+    let f = ParallelFraction::new(0.99)?;
+    let column = WorkloadColumn::Fft1024;
+
+    println!("FFT-1024, f = 0.99: 100 W desktop budget vs 10 W mobile budget\n");
+    println!(
+        "{:<14} {:>10} {:>10} {:>12} {:>14}",
+        "design", "100W @11nm", "10W @11nm", "kept (%)", "10W limiter"
+    );
+    for design in DesignId::for_column(desktop.table5(), column) {
+        let d = desktop.speedup_at(design, column, TechNode::N11, f);
+        let points = mobile.project(design, column, f)?;
+        let m = points.iter().find(|p| p.node == TechNode::N11);
+        match (d, m) {
+            (Some(d), Some(m)) => println!(
+                "{:<14} {:>10.1} {:>10.1} {:>11.0}% {:>14}",
+                design.label(),
+                d,
+                m.speedup,
+                100.0 * m.speedup / d,
+                m.limiter.to_string()
+            ),
+            _ => println!("{:<14} {:>10} {:>10}", design.label(), "-", "infeasible"),
+        }
+    }
+
+    // Check the paper's scenario-5 claim mechanically.
+    let asic_pts = mobile.project(DesignId::Het(DeviceId::Asic), column, f)?;
+    let asic_bw_limited = asic_pts.iter().any(|p| p.limiter == Limiter::Bandwidth);
+    let flexible_bw_limited = [DeviceId::Gtx285, DeviceId::Gtx480, DeviceId::V6Lx760]
+        .iter()
+        .any(|&d| {
+            mobile
+                .project(DesignId::Het(d), column, f)
+                .map(|pts| pts.iter().any(|p| p.limiter == Limiter::Bandwidth))
+                .unwrap_or(false)
+        });
+    println!(
+        "\nat 10 W: ASIC reaches the bandwidth wall: {asic_bw_limited}; \
+         any flexible u-core does: {flexible_bw_limited}"
+    );
+    println!("(the paper: only ASIC-based HETs approach bandwidth-limited performance)");
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Quickstart: model one heterogeneous chip and ask the paper's core
+//! question — is a U-core worth it, and what limits it?
+//!
+//! Run with `cargo run --example quickstart`.
+
+use ucore::calibrate::{Table5, WorkloadColumn};
+use ucore::model::{Budgets, ChipSpec, Optimizer, ParallelFraction};
+use ucore::project::{DesignId, ProjectionEngine, Scenario};
+use ucore_devices::{DeviceId, TechNode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Calibrate: derive every U-core's (mu, phi) from the measured
+    //    devices — this reproduces the paper's Table 5.
+    let table5 = Table5::derive()?;
+    let asic_fft = table5
+        .ucore(DeviceId::Asic, WorkloadColumn::Fft1024)
+        .expect("the ASIC FFT cell is published");
+    println!(
+        "ASIC FFT-1024 u-core: mu = {:.0} (per-area speed), phi = {:.2} (per-area power)",
+        asic_fft.mu(),
+        asic_fft.phi()
+    );
+
+    // 2. Ask the raw model: with 19 BCE of area, ~9 BCE of power and
+    //    ~50 BCE of bandwidth (the 40 nm budgets), what can a chip built
+    //    around that u-core achieve on a 99%-parallel FFT workload?
+    let chip = ChipSpec::heterogeneous(asic_fft);
+    let budgets = Budgets::new(19.0, 9.0, 50.0)?;
+    let f = ParallelFraction::new(0.99)?;
+    let best = Optimizer::paper_default().optimize(&chip, &budgets, f)?;
+    println!(
+        "hand-built 40nm chip: speedup {} with r = {} ({}-limited)",
+        best.evaluation.speedup, best.evaluation.r, best.evaluation.limiter
+    );
+
+    // 3. Or let the projection engine do all of it, across the ITRS
+    //    roadmap (this is one line of the paper's Figure 6).
+    let engine = ProjectionEngine::new(Scenario::baseline())?;
+    println!("\nASIC FFT-1024 HET across the roadmap at f = 0.99:");
+    for point in engine.project(DesignId::Het(DeviceId::Asic), WorkloadColumn::Fft1024, f)? {
+        println!(
+            "  {:>4}: speedup {:6.1}  ({}-limited, r = {:.0}, n = {:.1})",
+            point.node.to_string(),
+            point.speedup,
+            point.limiter,
+            point.r,
+            point.n
+        );
+    }
+
+    // 4. The headline comparison: how much does the u-core buy over a
+    //    conventional CMP at 11 nm?
+    let asic = engine
+        .speedup_at(DesignId::Het(DeviceId::Asic), WorkloadColumn::Fft1024, TechNode::N11, f)
+        .expect("feasible");
+    let cmp = engine
+        .speedup_at(DesignId::AsymCmp, WorkloadColumn::Fft1024, TechNode::N11, f)
+        .expect("feasible");
+    println!("\nat 11nm, f = 0.99: ASIC HET {asic:.1}x vs AsymCMP {cmp:.1}x ({:.1}x gain)", asic / cmp);
+    Ok(())
+}

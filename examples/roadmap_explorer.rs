@@ -1,0 +1,68 @@
+//! Roadmap explorer: sweep every §6.2 scenario for one design and see
+//! how the conclusions move — plus a mixed-fabric chip from the paper's
+//! §6.3 discussion.
+//!
+//! Run with `cargo run --example roadmap_explorer`.
+
+use ucore::calibrate::{Table5, WorkloadColumn};
+use ucore::model::{MixedChip, ParallelFraction, UCorePartition};
+use ucore::project::{DesignId, ProjectionEngine, Scenario};
+use ucore_devices::{DeviceId, TechNode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let f = ParallelFraction::new(0.99)?;
+    let scenarios = [
+        Scenario::baseline(),
+        Scenario::s1_low_bandwidth(),
+        Scenario::s2_high_bandwidth(),
+        Scenario::s3_half_area(),
+        Scenario::s4_high_power(),
+        Scenario::s5_low_power(),
+        Scenario::s6_serial_power(),
+    ];
+
+    println!("GTX480 FFT-1024 HET at 11 nm, f = 0.99, across all scenarios:\n");
+    for scenario in scenarios {
+        let name = scenario.name().to_string();
+        let engine = ProjectionEngine::new(scenario)?;
+        match engine.speedup_at(
+            DesignId::Het(DeviceId::Gtx480),
+            WorkloadColumn::Fft1024,
+            TechNode::N11,
+            f,
+        ) {
+            Some(s) => println!("  {name:<22} speedup {s:6.1}"),
+            None => println!("  {name:<22} infeasible"),
+        }
+    }
+
+    // Section 6.3's "mix and match" prospect: an MMM ASIC next to a GPU
+    // fabric for bandwidth-bound FFTs, on one 75-BCE (22 nm) die.
+    let table5 = Table5::derive()?;
+    let mmm_asic = table5
+        .ucore(DeviceId::Asic, WorkloadColumn::Mmm)
+        .expect("published cell");
+    let gpu_fft = table5
+        .ucore(DeviceId::Gtx480, WorkloadColumn::Fft1024)
+        .expect("published cell");
+    let chip = MixedChip::new(
+        75.0,
+        2.0,
+        vec![
+            UCorePartition { ucore: mmm_asic, area_share: 0.5, work_share: 0.5 },
+            UCorePartition { ucore: gpu_fft, area_share: 0.5, work_share: 0.5 },
+        ],
+    )?;
+    let tuned = chip.with_optimal_shares();
+    println!(
+        "\nmixed 22nm chip (MMM ASIC + GPU FFT fabric), f = 0.99, half the parallel work each:"
+    );
+    println!("  naive 50/50 area split: speedup {}", chip.speedup(f)?);
+    println!(
+        "  optimal split ({}% / {}%): speedup {}",
+        (tuned.partitions()[0].area_share * 100.0).round(),
+        (tuned.partitions()[1].area_share * 100.0).round(),
+        tuned.speedup(f)?
+    );
+    Ok(())
+}
