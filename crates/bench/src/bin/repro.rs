@@ -6,14 +6,21 @@
 //! repro --figure 6             # one figure (2-10)
 //! repro --scenario 3           # one 6.2 scenario (1-6)
 //! repro --json figure-6        # machine-readable figure data
+//! repro --stats --figure 6     # + sweep/cache counters on stderr
 //! ```
+//!
+//! `--stats` composes with any other flag. The counters go to stderr so
+//! that stdout stays byte-identical with and without the flag (the
+//! `--json` exports are consumed by tools that diff them).
 
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 use ucore_bench::{figures, scenarios, tables};
 
 fn usage() -> &'static str {
-    "usage: repro [--all | --experiments | --table N | --figure N | --scenario N | --json figure-N | --csv figure-N]\n\
-     tables: 1-6; figures: 2-10; scenarios: 1-6; json/csv: figures 6-10"
+    "usage: repro [--stats] [--all | --experiments | --table N | --figure N | --scenario N | --json figure-N | --csv figure-N]\n\
+     tables: 1-6; figures: 2-10; scenarios: 1-6; json/csv: figures 6-10\n\
+     --stats: print evaluation/cache/sweep counters to stderr"
 }
 
 fn projection(which: &str) -> Result<ucore_project::FigureData, Box<dyn std::error::Error>> {
@@ -27,8 +34,31 @@ fn projection(which: &str) -> Result<ucore_project::FigureData, Box<dyn std::err
     })
 }
 
-fn run() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+fn print_stats(total: Duration) {
+    let cache = ucore_core::EvalCache::global().stats();
+    eprintln!("--- repro --stats ---");
+    for (i, s) in ucore_project::sweep::drain_phase_log().iter().enumerate() {
+        eprintln!(
+            "sweep phase {i}: {} points on {} threads, {} cache hits, {} misses, {:.3} ms",
+            s.points,
+            s.threads,
+            s.cache_hits,
+            s.cache_misses,
+            s.wall.as_secs_f64() * 1e3,
+        );
+    }
+    eprintln!("evaluations run: {}", cache.misses);
+    eprintln!(
+        "cache: {} hits, {} misses, {} entries, {:.1}% hit rate",
+        cache.hits,
+        cache.misses,
+        cache.entries,
+        cache.hit_rate() * 100.0,
+    );
+    eprintln!("total wall time: {:.3} ms", total.as_secs_f64() * 1e3);
+}
+
+fn run(args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     match args.as_slice() {
         [] | [_] if args.first().map(String::as_str) == Some("--all") || args.is_empty() => {
             print!("{}", ucore_bench::render_all()?);
@@ -71,7 +101,15 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn main() -> ExitCode {
-    match run() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let stats = args.iter().any(|a| a == "--stats");
+    args.retain(|a| a != "--stats");
+    let start = Instant::now();
+    let outcome = run(args);
+    if stats {
+        print_stats(start.elapsed());
+    }
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("{e}");

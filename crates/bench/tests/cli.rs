@@ -44,6 +44,65 @@ fn json_export_parses() {
 }
 
 #[test]
+fn json_export_is_deterministic_and_well_formed() {
+    // Two independent processes — separate caches, separate sweeps —
+    // must print byte-identical JSON for every exported figure, with
+    // the id/panels/series/points schema the downstream tooling diffs.
+    for which in ["figure-6", "figure-7", "figure-8", "figure-9", "figure-10"] {
+        let first = repro(&["--json", which]);
+        let second = repro(&["--json", which]);
+        assert!(first.status.success(), "{which}");
+        assert_eq!(first.stdout, second.stdout, "{which} json must be deterministic");
+
+        let parsed: serde_json::Value = serde_json::from_slice(&first.stdout).unwrap();
+        assert_eq!(parsed["id"], which);
+        assert!(parsed["title"].is_string(), "{which} has a title");
+        let panels = parsed["panels"].as_array().unwrap();
+        assert!(!panels.is_empty(), "{which} has panels");
+        for panel in panels {
+            assert!(panel["f"].is_number(), "{which} panel carries its f");
+            let series = panel["series"].as_array().unwrap();
+            assert!(!series.is_empty(), "{which} panel has series");
+            for s in series {
+                assert!(s["label"].is_string());
+                for point in s["points"].as_array().unwrap() {
+                    assert!(point["node"].is_string(), "{which} point names its node");
+                    assert!(point["speedup"].is_number());
+                    assert!(point["limiter"].is_string());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn stats_flag_reports_counters_on_stderr_only() {
+    let plain = repro(&["--figure", "6"]);
+    let with_stats = repro(&["--stats", "--figure", "6"]);
+    assert!(with_stats.status.success());
+    // stdout is untouched: tools diffing repro output may not care
+    // whether --stats was on.
+    assert_eq!(plain.stdout, with_stats.stdout);
+
+    let err = String::from_utf8(with_stats.stderr).unwrap();
+    assert!(err.contains("repro --stats"), "stats header: {err}");
+    assert!(err.contains("sweep phase 0:"), "per-sweep phase lines: {err}");
+    assert!(err.contains("evaluations run:"), "evaluation count: {err}");
+    assert!(err.contains("hit rate"), "cache summary: {err}");
+    assert!(err.contains("total wall time"), "wall clock: {err}");
+}
+
+#[test]
+fn stats_flag_composes_in_any_position() {
+    let out = repro(&["--json", "figure-7", "--stats"]);
+    assert!(out.status.success());
+    let parsed: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(parsed["id"], "figure-7");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("repro --stats"), "{err}");
+}
+
+#[test]
 fn csv_export_has_headers_and_rows() {
     let out = repro(&["--csv", "figure-10"]);
     assert!(out.status.success());

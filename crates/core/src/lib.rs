@@ -53,6 +53,7 @@
 
 pub mod bounds;
 pub mod budget;
+pub mod cache;
 pub mod chip;
 pub mod critical;
 pub mod energy;
@@ -71,6 +72,7 @@ pub mod units;
 
 pub use bounds::{BoundSet, Constraint, Limiter};
 pub use budget::Budgets;
+pub use cache::{CacheStats, EvalCache, EvalKey, F64Key};
 pub use chip::{ChipSpec, DesignPoint, Evaluation};
 pub use critical::CriticalSectionWorkload;
 pub use energy::{EnergyBreakdown, EnergyModel};

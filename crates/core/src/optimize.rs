@@ -96,6 +96,11 @@ impl Optimizer {
         Optimizer { objective, ..*self }
     }
 
+    /// The lower end of the `r` sweep.
+    pub fn r_min(&self) -> f64 {
+        self.r_min
+    }
+
     /// The upper end of the `r` sweep.
     pub fn r_max(&self) -> f64 {
         self.r_max

@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 use ucore_core::{
-    Budgets, ChipSpec, Limiter, ModelError, Optimizer, ParallelFraction, UCore,
+    Budgets, ChipSpec, EvalCache, Limiter, ModelError, Optimizer, ParallelFraction, UCore,
 };
 
 /// One cell of a design-space sweep.
@@ -69,11 +69,12 @@ impl DesignSpaceMap {
         let mu_values = grid(mu_range.0, mu_range.1);
         let phi_values = grid(phi_range.0, phi_range.1);
         let optimizer = Optimizer::paper_default();
+        let cache = EvalCache::global();
         let mut cells = Vec::with_capacity(steps * steps);
         for &phi in &phi_values {
             for &mu in &mu_values {
                 let spec = ChipSpec::heterogeneous(UCore::new(mu, phi)?);
-                match optimizer.optimize(&spec, budgets, f) {
+                match cache.optimize(&optimizer, &spec, budgets, f) {
                     Ok(best) => cells.push(DesignSpaceCell {
                         mu,
                         phi,
@@ -130,10 +131,13 @@ pub fn required_mu(
     target: f64,
 ) -> Option<f64> {
     let optimizer = Optimizer::paper_default();
+    // The bisection revisits nearby µ values across calls with the same
+    // budgets; the global memo table answers repeats directly.
+    let cache = EvalCache::global();
     let speedup_at = |mu: f64| -> Option<f64> {
         let spec = ChipSpec::heterogeneous(UCore::new(mu, phi).ok()?);
-        optimizer
-            .optimize(&spec, budgets, f)
+        cache
+            .optimize(&optimizer, &spec, budgets, f)
             .ok()
             .map(|b| b.evaluation.speedup.get())
     };
@@ -161,10 +165,11 @@ pub fn required_mu(
 /// `µ ≤ 1e6` (e.g. the bandwidth-exempt ASIC MMM).
 pub fn bandwidth_wall_mu(budgets: &Budgets, f: ParallelFraction, phi: f64) -> Option<f64> {
     let optimizer = Optimizer::paper_default();
+    let cache = EvalCache::global();
     let limiter_at = |mu: f64| -> Option<Limiter> {
         let spec = ChipSpec::heterogeneous(UCore::new(mu, phi).ok()?);
-        optimizer
-            .optimize(&spec, budgets, f)
+        cache
+            .optimize(&optimizer, &spec, budgets, f)
             .ok()
             .map(|b| b.evaluation.limiter)
     };

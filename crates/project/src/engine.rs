@@ -21,9 +21,10 @@ use crate::scenario::Scenario;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 use ucore_calibrate::{BceCalibration, Table5, WorkloadColumn};
 use ucore_core::{
-    Budgets, ChipSpec, EnergyModel, Optimizer, ParallelFraction,
+    Budgets, ChipSpec, EnergyModel, EvalCache, Optimizer, ParallelFraction,
 };
 use ucore_devices::DeviceId;
 use ucore_itrs::NodeParams;
@@ -107,19 +108,36 @@ impl fmt::Display for DesignId {
 pub struct ProjectionEngine {
     scenario: Scenario,
     table5: Table5,
+    cache: Arc<EvalCache>,
 }
 
 impl ProjectionEngine {
-    /// Builds an engine, deriving Table 5 from the simulated lab.
+    /// Builds an engine, deriving Table 5 from the simulated lab. The
+    /// engine memoizes design-point evaluations in the process-wide
+    /// [`EvalCache::global`] cache, so identical `(design, node, f)`
+    /// points shared between figures and scenarios are optimized once.
     ///
     /// # Errors
     ///
     /// Returns [`ProjectionError::Calibration`] if the lab cannot supply
     /// the i7 baselines (never the case for the shipped data).
     pub fn new(scenario: Scenario) -> Result<Self, ProjectionError> {
+        Self::with_cache(scenario, EvalCache::global().clone())
+    }
+
+    /// Builds an engine backed by a specific evaluation cache (e.g. a
+    /// fresh private cache for benchmarking or isolation).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ProjectionEngine::new`].
+    pub fn with_cache(
+        scenario: Scenario,
+        cache: Arc<EvalCache>,
+    ) -> Result<Self, ProjectionError> {
         let table5 =
             Table5::derive().map_err(|e| ProjectionError::Calibration(e.to_string()))?;
-        Ok(ProjectionEngine { scenario, table5 })
+        Ok(ProjectionEngine { scenario, table5, cache })
     }
 
     /// The engine's scenario.
@@ -130,6 +148,50 @@ impl ProjectionEngine {
     /// The derived Table 5 the engine projects from.
     pub fn table5(&self) -> &Table5 {
         &self.table5
+    }
+
+    /// The evaluation cache backing this engine.
+    pub fn cache(&self) -> &Arc<EvalCache> {
+        &self.cache
+    }
+
+    /// The `r` sweep this scenario prescribes.
+    pub fn optimizer(&self) -> Optimizer {
+        Optimizer::new(1.0, self.scenario.r_max(), 1.0).expect("scenario r_max is valid")
+    }
+
+    /// Evaluates one `(spec, node, budgets, f)` cell: the memoized
+    /// optimal design plus its node-local normalized energy. `None` when
+    /// no feasible design exists (e.g. under the 10 W scenario).
+    pub(crate) fn node_point(
+        &self,
+        spec: &ChipSpec,
+        node: &NodeParams,
+        budgets: &Budgets,
+        f: ParallelFraction,
+        use_cache: bool,
+    ) -> Option<NodePoint> {
+        let optimizer = self.optimizer();
+        let best = if use_cache {
+            self.cache.optimize(&optimizer, spec, budgets, f).ok()?
+        } else {
+            optimizer.optimize(spec, budgets, f).ok()?
+        };
+        // Normalized energy at this node: linear in the node's power
+        // scale.
+        let energy = EnergyModel::new(node.rel_power_per_transistor)
+            .expect("roadmap scales are valid")
+            .breakdown(spec, f, best.evaluation.n, best.evaluation.r)
+            .map(|b| b.total())
+            .unwrap_or(f64::NAN);
+        Some(NodePoint {
+            node: node.node,
+            speedup: best.evaluation.speedup.get(),
+            limiter: best.evaluation.limiter,
+            r: best.evaluation.r,
+            n: best.evaluation.n,
+            energy,
+        })
     }
 
     /// The chip spec for a design on a workload column.
@@ -203,29 +265,12 @@ impl ProjectionEngine {
             ProjectionError::Calibration(format!("no {column} u-core for {design}"))
         })?;
         let exempt = Self::bandwidth_exempt(design, column);
-        let optimizer = Optimizer::new(1.0, self.scenario.r_max(), 1.0)
-            .expect("scenario r_max is valid");
         let mut points = Vec::new();
         for node in self.scenario.roadmap().nodes() {
             let budgets = self.budgets(node, column, exempt)?;
-            let Ok(best) = optimizer.optimize(&spec, &budgets, f) else {
-                continue;
-            };
-            // Normalized energy at this node: linear in the node's power
-            // scale.
-            let energy = EnergyModel::new(node.rel_power_per_transistor)
-                .expect("roadmap scales are valid")
-                .breakdown(&spec, f, best.evaluation.n, best.evaluation.r)
-                .map(|b| b.total())
-                .unwrap_or(f64::NAN);
-            points.push(NodePoint {
-                node: node.node,
-                speedup: best.evaluation.speedup.get(),
-                limiter: best.evaluation.limiter,
-                r: best.evaluation.r,
-                n: best.evaluation.n,
-                energy,
-            });
+            if let Some(point) = self.node_point(&spec, node, &budgets, f, true) {
+                points.push(point);
+            }
         }
         Ok(points)
     }
@@ -250,8 +295,7 @@ impl ProjectionEngine {
             ProjectionError::Calibration(format!("no {column} u-core for {design}"))
         })?;
         let exempt = Self::bandwidth_exempt(design, column);
-        let optimizer = Optimizer::new(1.0, self.scenario.r_max(), 1.0)
-            .expect("scenario r_max is valid");
+        let optimizer = self.optimizer();
         let roadmap = self.scenario.roadmap();
         let (first, last) = {
             let nodes = roadmap.nodes();
@@ -265,7 +309,7 @@ impl ProjectionEngine {
             let Ok(budgets) = self.budgets(&params, column, exempt) else {
                 continue;
             };
-            let Ok(best) = optimizer.optimize(&spec, &budgets, f) else {
+            let Ok(best) = self.cache.optimize(&optimizer, &spec, &budgets, f) else {
                 continue;
             };
             points.push(YearPoint {

@@ -1,10 +1,18 @@
 //! Ready-made reproductions of the paper's projection figures.
+//!
+//! Figures are assembled by fanning their `(f, design, node)` grid over
+//! the parallel [`sweep`](crate::sweep) engine. The sweep returns
+//! results in submission order and each point is memoized in the
+//! process-wide evaluation cache, so figure output is deterministic
+//! (bit-identical to a sequential build) and points shared between
+//! figures — e.g. the baseline FFT grid appearing in both Figure 6 and
+//! the scenario studies — are optimized only once per process.
 
 use crate::engine::{DesignId, ProjectionEngine, ProjectionError};
 use crate::results::{FigureData, Metric, Panel, Series};
 use crate::scenario::Scenario;
+use crate::sweep::{figure_points, sweep, SweepConfig};
 use ucore_calibrate::WorkloadColumn;
-use ucore_core::ParallelFraction;
 
 /// Builds a speedup figure: one panel per `f`, one series per design.
 fn speedup_figure(
@@ -27,13 +35,20 @@ fn figure_with_metric(
 ) -> Result<FigureData, ProjectionError> {
     let engine = ProjectionEngine::new(scenario)?;
     let designs = DesignId::for_column(engine.table5(), column);
-    let mut panels = Vec::new();
+    let nodes_per_series = engine.scenario().roadmap().nodes().len();
+    let points = figure_points(&engine, &designs, column, f_values)?;
+    let (results, _stats) = sweep(&engine, points, &SweepConfig::default());
+
+    // Reassemble the ordered results into panels: the batch was built
+    // with f outermost, then design, then node, so consecutive
+    // `nodes_per_series` chunks form one series.
+    let mut chunks = results.chunks(nodes_per_series);
+    let mut panels = Vec::with_capacity(f_values.len());
     for &fv in f_values {
-        let f = ParallelFraction::new(fv)
-            .map_err(|e| ProjectionError::Infeasible { reason: e.to_string() })?;
-        let mut series = Vec::new();
+        let mut series = Vec::with_capacity(designs.len());
         for &design in &designs {
-            let points = engine.project(design, column, f)?;
+            let chunk = chunks.next().expect("batch covers every (f, design) pair");
+            let points = chunk.iter().filter_map(|r| r.outcome).collect();
             series.push(Series { label: design.label(), points });
         }
         panels.push(Panel { f: fv, series });

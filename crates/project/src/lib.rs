@@ -8,9 +8,25 @@
 //!   alternatives (bandwidth, area, power, serial-power variations);
 //! * [`engine`] — the projection engine: budgets per node, optimal
 //!   sequential-core sizing, limiting-constraint classification;
+//! * [`sweep`] — the parallel sweep engine: fans a figure's
+//!   `(f, design, node)` grid over scoped worker threads with
+//!   deterministic, submission-ordered results, backed by the
+//!   process-wide memoization cache ([`ucore_core::EvalCache`]);
 //! * [`figures`] — ready-made reproductions of Figures 6, 7, 8, 9
-//!   and 10;
+//!   and 10, assembled via the sweep engine;
 //! * [`results`] — serializable result structures for export.
+//!
+//! ## Parallelism, caching and determinism
+//!
+//! Design-point evaluation is a pure function of `(optimizer, spec,
+//! budgets, f)`, so the engine memoizes every outcome — feasible or
+//! infeasible — in a process-wide table keyed on the canonicalized bit
+//! patterns of all inputs. Figures fan their grids over worker threads
+//! (thread count = available parallelism, overridable via
+//! [`SweepConfig`] or the `UCORE_SWEEP_THREADS` environment variable)
+//! and restore submission order before assembly, so rendered and
+//! exported output is bit-identical across thread counts, cache states,
+//! and repeated runs.
 //!
 //! ```
 //! use ucore_project::{figures, Scenario};
@@ -29,6 +45,7 @@ pub mod engine;
 pub mod figures;
 pub mod results;
 pub mod scenario;
+pub mod sweep;
 pub mod uncertainty;
 
 pub use crossover::{f_crossover, node_crossover, paper_crossovers, CrossoverRecord};
@@ -36,4 +53,5 @@ pub use designspace::{bandwidth_wall_mu, required_mu, DesignSpaceCell, DesignSpa
 pub use engine::{DesignId, ProjectionEngine, ProjectionError, YearPoint};
 pub use results::{FigureData, NodePoint, Panel, Series};
 pub use scenario::Scenario;
+pub use sweep::{figure_points, sweep, SweepConfig, SweepPoint, SweepResult, SweepStats};
 pub use uncertainty::{speedup_interval, InputUncertainty, SpeedupInterval};

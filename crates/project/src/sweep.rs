@@ -1,0 +1,381 @@
+//! The parallel design-space sweep engine.
+//!
+//! A projection figure is a large batch of independent design-point
+//! evaluations: every `(design, node, f)` cell of every panel runs the
+//! same pure `r` sweep under its own budgets. This module fans such a
+//! batch over scoped worker threads while keeping the output
+//! **deterministic**: results are returned in the exact order the
+//! [`SweepPoint`]s were submitted, and each point's value is computed by
+//! the same code path the sequential engine uses, so a parallel sweep is
+//! bit-identical to a sequential one regardless of thread count or
+//! scheduling.
+//!
+//! # Determinism
+//!
+//! Two properties make this safe to parallelize:
+//!
+//! 1. **Purity** — evaluating a point reads only the point itself and
+//!    the engine's immutable scenario/Table 5 state. The shared
+//!    [`EvalCache`](ucore_core::EvalCache) memoizes `Result`s of a pure
+//!    function keyed on every input, so a cache hit returns exactly what
+//!    the evaluation would have computed.
+//! 2. **Order restoration** — workers pull indices from an atomic
+//!    counter and tag each outcome with its index; the engine sorts the
+//!    merged outcomes by index before returning. Thread interleaving
+//!    affects wall time only, never the result vector.
+//!
+//! # Observability
+//!
+//! Every sweep returns [`SweepStats`] alongside its results: points
+//! evaluated, threads used, cache hit/miss deltas, and the wall time of
+//! the evaluation phase. The `repro --stats` flag surfaces the global
+//! totals after rendering.
+
+use crate::engine::{DesignId, ProjectionEngine};
+use crate::results::NodePoint;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use ucore_calibrate::WorkloadColumn;
+use ucore_core::{Budgets, ParallelFraction};
+use ucore_itrs::NodeParams;
+
+/// One unit of sweep work: a fully specified design-point evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The chip design under evaluation.
+    pub design: DesignId,
+    /// The workload column supplying the U-core calibration.
+    pub column: WorkloadColumn,
+    /// The roadmap node supplying the physical budgets.
+    pub node: NodeParams,
+    /// The model budgets (already converted to BCE units, and already
+    /// widened if the point is bandwidth-exempt).
+    pub budgets: Budgets,
+    /// The workload's parallel fraction.
+    pub f: ParallelFraction,
+}
+
+/// The outcome of one [`SweepPoint`], tagged with its submission index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepResult {
+    /// Position of the point in the submitted batch.
+    pub index: usize,
+    /// The point that was evaluated.
+    pub point: SweepPoint,
+    /// The evaluated node point, or `None` when no feasible design
+    /// exists at this cell (matching the sequential engine, which omits
+    /// such nodes from its series).
+    pub outcome: Option<NodePoint>,
+}
+
+/// How a sweep runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Worker thread count. `None` means the available parallelism of
+    /// the machine (or the `UCORE_SWEEP_THREADS` environment variable
+    /// when set). `Some(1)` runs fully sequentially on the caller's
+    /// thread.
+    pub threads: Option<usize>,
+    /// Whether evaluations go through the engine's memoization cache.
+    /// Disable for benchmarking the uncached path; results are identical
+    /// either way.
+    pub use_cache: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig { threads: None, use_cache: true }
+    }
+}
+
+impl SweepConfig {
+    /// A sequential, cache-enabled configuration.
+    pub fn sequential() -> Self {
+        SweepConfig { threads: Some(1), use_cache: true }
+    }
+
+    /// The effective worker count for a batch of `jobs` points.
+    fn effective_threads(&self, jobs: usize) -> usize {
+        let requested = self.threads.or_else(env_thread_override).unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        });
+        requested.max(1).min(jobs.max(1))
+    }
+}
+
+fn env_thread_override() -> Option<usize> {
+    std::env::var("UCORE_SWEEP_THREADS")
+        .ok()?
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+}
+
+/// Counters from one sweep run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepStats {
+    /// Points in the batch (evaluated or answered from cache).
+    pub points: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Cache hits during this sweep.
+    pub cache_hits: u64,
+    /// Cache misses (optimizer runs) during this sweep. Zero when the
+    /// sweep ran with the cache disabled.
+    pub cache_misses: u64,
+    /// Wall time of the evaluation phase.
+    pub wall: Duration,
+}
+
+/// Evaluates a batch of points, fanning over worker threads.
+///
+/// Results come back in submission order with their indices, so callers
+/// can reassemble figures deterministically. With `config.threads ==
+/// Some(1)` the batch runs on the calling thread; the produced results
+/// are identical in either mode.
+pub fn sweep(
+    engine: &ProjectionEngine,
+    points: Vec<SweepPoint>,
+    config: &SweepConfig,
+) -> (Vec<SweepResult>, SweepStats) {
+    let threads = config.effective_threads(points.len());
+    let cache_before = engine.cache().stats();
+    let start = Instant::now();
+
+    let outcomes: Vec<Option<NodePoint>> = if threads <= 1 || points.len() <= 1 {
+        points.iter().map(|p| evaluate(engine, p, config.use_cache)).collect()
+    } else {
+        parallel_outcomes(engine, &points, threads, config.use_cache)
+    };
+
+    let wall = start.elapsed();
+    let cache_after = engine.cache().stats();
+    let stats = SweepStats {
+        points: points.len(),
+        threads,
+        cache_hits: cache_after.hits - cache_before.hits,
+        cache_misses: cache_after.misses - cache_before.misses,
+        wall,
+    };
+    record_phase(stats);
+    let results = points
+        .into_iter()
+        .zip(outcomes)
+        .enumerate()
+        .map(|(index, (point, outcome))| SweepResult { index, point, outcome })
+        .collect();
+    (results, stats)
+}
+
+/// Every completed sweep of the process, in completion order — the
+/// "wall time per phase" log behind `repro --stats`.
+static PHASE_LOG: Mutex<Vec<SweepStats>> = Mutex::new(Vec::new());
+
+fn record_phase(stats: SweepStats) {
+    PHASE_LOG
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(stats);
+}
+
+/// Drains and returns the per-sweep phase log accumulated so far.
+pub fn drain_phase_log() -> Vec<SweepStats> {
+    std::mem::take(
+        &mut *PHASE_LOG.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+    )
+}
+
+/// Work-queue fan-out: workers claim indices from a shared atomic
+/// counter, collect `(index, outcome)` pairs locally, and the merged
+/// pairs are sorted back into submission order.
+fn parallel_outcomes(
+    engine: &ProjectionEngine,
+    points: &[SweepPoint],
+    threads: usize,
+    use_cache: bool,
+) -> Vec<Option<NodePoint>> {
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, Option<NodePoint>)> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(point) = points.get(i) else {
+                            break;
+                        };
+                        local.push((i, evaluate(engine, point, use_cache)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    })
+    .expect("sweep scope does not panic");
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, outcome)| outcome).collect()
+}
+
+fn evaluate(
+    engine: &ProjectionEngine,
+    point: &SweepPoint,
+    use_cache: bool,
+) -> Option<NodePoint> {
+    let spec = engine.chip_spec(point.design, point.column)?;
+    engine.node_point(&spec, &point.node, &point.budgets, point.f, use_cache)
+}
+
+/// Builds the sweep batch for one figure: every `(f, design, node)`
+/// combination in nesting order (`f` outermost, node innermost), with
+/// budgets resolved per node and the bandwidth exemption applied.
+///
+/// # Errors
+///
+/// Propagates calibration errors from budget derivation and invalid
+/// parallel fractions, exactly as the sequential figure builder does.
+pub fn figure_points(
+    engine: &ProjectionEngine,
+    designs: &[DesignId],
+    column: WorkloadColumn,
+    f_values: &[f64],
+) -> Result<Vec<SweepPoint>, crate::engine::ProjectionError> {
+    let nodes = engine.scenario().roadmap().nodes().to_vec();
+    let mut points = Vec::with_capacity(f_values.len() * designs.len() * nodes.len());
+    for &fv in f_values {
+        let f = ParallelFraction::new(fv).map_err(|e| {
+            crate::engine::ProjectionError::Infeasible { reason: e.to_string() }
+        })?;
+        for &design in designs {
+            let exempt = ProjectionEngine::bandwidth_exempt(design, column);
+            for node in &nodes {
+                let budgets = engine.budgets(node, column, exempt)?;
+                points.push(SweepPoint { design, column, node: *node, budgets, f });
+            }
+        }
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use std::sync::Arc;
+    use ucore_core::EvalCache;
+
+    fn engine() -> ProjectionEngine {
+        // A private cache per test engine keeps stats assertions exact.
+        ProjectionEngine::with_cache(Scenario::baseline(), Arc::new(EvalCache::new()))
+            .unwrap()
+    }
+
+    fn batch(e: &ProjectionEngine) -> Vec<SweepPoint> {
+        let designs = DesignId::for_column(e.table5(), WorkloadColumn::Fft1024);
+        figure_points(e, &designs, WorkloadColumn::Fft1024, &[0.5, 0.9, 0.99]).unwrap()
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let e = engine();
+        let points = batch(&e);
+        let (seq, _) = sweep(&e, points.clone(), &SweepConfig {
+            threads: Some(1),
+            use_cache: false,
+        });
+        for threads in [2, 4, 7] {
+            let (par, stats) = sweep(&e, points.clone(), &SweepConfig {
+                threads: Some(threads),
+                use_cache: false,
+            });
+            assert_eq!(seq.len(), par.len());
+            for (s, p) in seq.iter().zip(&par) {
+                assert_eq!(s.index, p.index);
+                assert_eq!(s.outcome, p.outcome, "index {}", s.index);
+            }
+            assert_eq!(stats.threads, threads);
+            assert_eq!(stats.cache_misses, 0, "cache was disabled");
+        }
+    }
+
+    #[test]
+    fn cached_equals_uncached() {
+        let e = engine();
+        let points = batch(&e);
+        let (plain, _) =
+            sweep(&e, points.clone(), &SweepConfig { threads: Some(1), use_cache: false });
+        let (cached_cold, cold) =
+            sweep(&e, points.clone(), &SweepConfig { threads: None, use_cache: true });
+        let (cached_warm, warm) =
+            sweep(&e, points, &SweepConfig { threads: None, use_cache: true });
+        for (a, b) in plain.iter().zip(&cached_cold) {
+            assert_eq!(a.outcome, b.outcome, "cold index {}", a.index);
+        }
+        for (a, b) in plain.iter().zip(&cached_warm) {
+            assert_eq!(a.outcome, b.outcome, "warm index {}", a.index);
+        }
+        assert!(cold.cache_misses > 0);
+        assert_eq!(warm.cache_misses, 0, "second pass is fully memoized");
+        assert_eq!(warm.cache_hits as usize, warm.points);
+    }
+
+    #[test]
+    fn results_are_in_submission_order() {
+        let e = engine();
+        let points = batch(&e);
+        let n = points.len();
+        let (results, stats) = sweep(&e, points, &SweepConfig::default());
+        assert_eq!(results.len(), n);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.index, i);
+        }
+        assert_eq!(stats.points, n);
+        assert!(stats.threads >= 1);
+    }
+
+    #[test]
+    fn figure_points_cover_the_grid_in_nesting_order() {
+        let e = engine();
+        let designs = DesignId::for_column(e.table5(), WorkloadColumn::Fft1024);
+        let nodes = e.scenario().roadmap().nodes().len();
+        let points =
+            figure_points(&e, &designs, WorkloadColumn::Fft1024, &[0.5, 0.9]).unwrap();
+        assert_eq!(points.len(), 2 * designs.len() * nodes);
+        // f outermost, then design, then node.
+        assert_eq!(points[0].f.get(), 0.5);
+        assert_eq!(points[nodes].design, designs[1]);
+        assert_eq!(points[designs.len() * nodes].f.get(), 0.9);
+    }
+
+    #[test]
+    fn infeasible_cells_come_back_as_none() {
+        // The 10 W scenario starves power-hungry symmetric designs at
+        // early nodes.
+        let e = ProjectionEngine::with_cache(
+            Scenario::s5_low_power(),
+            Arc::new(EvalCache::new()),
+        )
+        .unwrap();
+        let points =
+            figure_points(&e, &[DesignId::SymCmp], WorkloadColumn::Fft1024, &[0.999])
+                .unwrap();
+        let (results, _) = sweep(&e, points, &SweepConfig::default());
+        // The sequential engine omits infeasible nodes; the sweep marks
+        // them None. Both views must agree.
+        let sequential = e
+            .project(
+                DesignId::SymCmp,
+                WorkloadColumn::Fft1024,
+                ParallelFraction::new(0.999).unwrap(),
+            )
+            .unwrap();
+        let feasible: Vec<_> = results.iter().filter_map(|r| r.outcome).collect();
+        assert_eq!(feasible, sequential);
+    }
+}

@@ -1,0 +1,72 @@
+//! Offline stand-in for `crossbeam`, vendored into this workspace.
+//!
+//! Provides crossbeam's scoped-thread API (`crossbeam::scope`, the
+//! `|scope| scope.spawn(|_| ...)` shape) implemented over
+//! `std::thread::scope`, which has been stable since Rust 1.63. Only the
+//! surface this workspace uses is implemented.
+
+use std::any::Any;
+use std::thread as std_thread;
+
+/// Scoped threads.
+pub mod thread {
+    use super::*;
+
+    /// A scope handle passed to [`scope`]'s closure and to each spawned
+    /// thread's closure (crossbeam passes the scope again so children can
+    /// spawn siblings; callers here ignore it with `|_|`).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The child closure receives this scope.
+        pub fn spawn<F, T>(&self, f: F) -> std_thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; all threads are joined before this returns.
+    ///
+    /// # Errors
+    ///
+    /// The crossbeam API returns `Err` when a child panics; the std
+    /// implementation underneath propagates child panics instead, so
+    /// `Ok` is the only value actually produced (call sites `.expect`
+    /// it either way).
+    #[allow(clippy::missing_panics_doc)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_locals() {
+        let data = [1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        super::scope(|scope| {
+            for (src, dst) in data.chunks(2).zip(out.chunks_mut(2)) {
+                scope.spawn(move |_| {
+                    for (s, d) in src.iter().zip(dst.iter_mut()) {
+                        *d = s * 10;
+                    }
+                });
+            }
+        })
+        .expect("workers do not panic");
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+}

@@ -1,0 +1,509 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The build environment has no crates.io access, so this proc-macro
+//! crate parses the item token stream directly (no `syn`/`quote`) and
+//! generates impls of the vendored `serde::Serialize` /
+//! `serde::Deserialize` traits (a value-tree data model).
+//!
+//! Supported shapes — exactly what this workspace uses:
+//!
+//! * structs with named fields (field attrs: `#[serde(skip)]`,
+//!   `#[serde(default = "path")]`, combined `#[serde(skip, default = "path")]`);
+//! * newtype and tuple structs (`#[serde(transparent)]` is accepted and
+//!   is the default behavior for newtypes);
+//! * enums with unit, tuple, and struct variants (externally tagged).
+//!
+//! Generics are not supported.
+
+// Token-tree walking reads more clearly with explicit nesting than with
+// clippy's collapsed match/if-let forms.
+#![allow(clippy::collapsible_match, clippy::single_match)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    skip: bool,
+    default_path: Option<String>,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// The parsed item shape.
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Serde attributes collected from `#[serde(...)]` groups.
+#[derive(Default)]
+struct SerdeAttrs {
+    skip: bool,
+    default_path: Option<String>,
+    #[allow(dead_code)]
+    transparent: bool,
+}
+
+fn parse_serde_attr_group(tokens: Vec<TokenTree>, attrs: &mut SerdeAttrs) {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                match word.as_str() {
+                    "skip" => attrs.skip = true,
+                    "transparent" => attrs.transparent = true,
+                    "default" => {
+                        // default = "path"
+                        if i + 2 < tokens.len() {
+                            if let TokenTree::Literal(lit) = &tokens[i + 2] {
+                                let s = lit.to_string();
+                                attrs.default_path =
+                                    Some(s.trim_matches('"').to_string());
+                                i += 2;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Consumes leading `#[...]` attributes from `tokens[*pos..]`, returning
+/// any serde attributes found.
+fn consume_attrs(tokens: &[TokenTree], pos: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    // #[serde(...)]
+                    if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                        (inner.first(), inner.get(1))
+                    {
+                        if id.to_string() == "serde" {
+                            parse_serde_attr_group(
+                                args.stream().into_iter().collect(),
+                                &mut attrs,
+                            );
+                        }
+                    }
+                    *pos += 2;
+                    continue;
+                }
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    attrs
+}
+
+/// Skips an optional `pub` / `pub(...)` visibility marker.
+fn consume_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Splits a token list on commas at angle-bracket depth zero (groups
+/// already hide their interior commas).
+fn split_top_level(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth: i32 = 0;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let chunks = split_top_level(group.stream().into_iter().collect());
+    let mut fields = Vec::new();
+    for chunk in chunks {
+        let mut pos = 0;
+        let attrs = consume_attrs(&chunk, &mut pos);
+        consume_visibility(&chunk, &mut pos);
+        let Some(TokenTree::Ident(name)) = chunk.get(pos) else {
+            continue;
+        };
+        fields.push(Field {
+            name: name.to_string(),
+            skip: attrs.skip,
+            default_path: attrs.default_path,
+        });
+    }
+    fields
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let chunks = split_top_level(group.stream().into_iter().collect());
+    let mut variants = Vec::new();
+    for chunk in chunks {
+        let mut pos = 0;
+        let _attrs = consume_attrs(&chunk, &mut pos);
+        let Some(TokenTree::Ident(name)) = chunk.get(pos) else {
+            continue;
+        };
+        let name = name.to_string();
+        pos += 1;
+        let kind = match chunk.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = split_top_level(g.stream().into_iter().collect()).len();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantKind::Struct(parse_named_fields(g))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let _attrs = consume_attrs(&tokens, &mut pos);
+    consume_visibility(&tokens, &mut pos);
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected struct/enum, got {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, got {other:?}"),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("serde derive (vendored): generic types are not supported");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct { name, fields: parse_named_fields(g) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = split_top_level(g.stream().into_iter().collect()).len();
+                Item::TupleStruct { name, arity }
+            }
+            _ => Item::UnitStruct { name },
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { name, variants: parse_variants(g) }
+            }
+            other => panic!("serde derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match item {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in &fields {
+                if f.skip {
+                    continue;
+                }
+                pushes.push_str(&format!(
+                    "fields.push((\"{n}\".to_string(), \
+                     serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                 let mut fields: Vec<(String, serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 serde::Value::Map(fields)\n\
+                 }}\n}}\n"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            if arity == 1 {
+                format!(
+                    "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                     serde::Serialize::to_value(&self.0)\n\
+                     }}\n}}\n"
+                )
+            } else {
+                let items: Vec<String> = (0..arity)
+                    .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!(
+                    "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                     serde::Value::Seq(vec![{}])\n\
+                     }}\n}}\n",
+                    items.join(", ")
+                )
+            }
+        }
+        Item::UnitStruct { name } => format!(
+            "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ serde::Value::Null }}\n}}\n"
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> =
+                            (0..*arity).map(|i| format!("x{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "serde::Serialize::to_value(x0)".to_string()
+                        } else {
+                            format!(
+                                "serde::Value::Seq(vec![{}])",
+                                binds
+                                    .iter()
+                                    .map(|b| format!("serde::Serialize::to_value({b})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => serde::Value::Map(vec![(\
+                             \"{vn}\".to_string(), {payload})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{n}\".to_string(), \
+                                     serde::Serialize::to_value({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => serde::Value::Map(vec![(\
+                             \"{vn}\".to_string(), serde::Value::Map(vec![{}]))]),\n",
+                            binds.join(", "),
+                            entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}\n"
+            )
+        }
+    };
+    code.parse().expect("serde derive generated invalid Rust")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                let n = &f.name;
+                if f.skip {
+                    let default = f
+                        .default_path
+                        .clone()
+                        .map(|p| format!("{p}()"))
+                        .unwrap_or_else(|| "Default::default()".to_string());
+                    inits.push_str(&format!("{n}: {default},\n"));
+                } else if let Some(path) = &f.default_path {
+                    inits.push_str(&format!(
+                        "{n}: match v.get_field(\"{n}\") {{\n\
+                         Some(x) => serde::Deserialize::from_value(x)?,\n\
+                         None => {path}(),\n}},\n"
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{n}: match v.get_field(\"{n}\") {{\n\
+                         Some(x) => serde::Deserialize::from_value(x)?,\n\
+                         None => return Err(serde::DeError::custom(\
+                         \"missing field `{n}` in {name}\")),\n}},\n"
+                    ));
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                 if !matches!(v, serde::Value::Map(_)) {{\n\
+                 return Err(serde::DeError::custom(\"expected map for {name}\"));\n\
+                 }}\n\
+                 Ok({name} {{\n{inits}}})\n\
+                 }}\n}}\n"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            if arity == 1 {
+                format!(
+                    "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                     Ok({name}(serde::Deserialize::from_value(v)?))\n\
+                     }}\n}}\n"
+                )
+            } else {
+                let gets: Vec<String> = (0..arity)
+                    .map(|i| {
+                        format!(
+                            "serde::Deserialize::from_value(items.get({i}).ok_or_else(\
+                             || serde::DeError::custom(\"tuple too short for {name}\"))?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                     match v {{\n\
+                     serde::Value::Seq(items) => Ok({name}({})),\n\
+                     _ => Err(serde::DeError::custom(\"expected array for {name}\")),\n\
+                     }}\n}}\n}}\n",
+                    gets.join(", ")
+                )
+            }
+        }
+        Item::UnitStruct { name } => format!(
+            "impl serde::Deserialize for {name} {{\n\
+             fn from_value(_v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+             Ok({name})\n}}\n}}\n"
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        if *arity == 1 {
+                            payload_arms.push_str(&format!(
+                                "\"{vn}\" => Ok({name}::{vn}(\
+                                 serde::Deserialize::from_value(val)?)),\n"
+                            ));
+                        } else {
+                            let gets: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!(
+                                        "serde::Deserialize::from_value(\
+                                         items.get({i}).ok_or_else(|| \
+                                         serde::DeError::custom(\
+                                         \"variant payload too short\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            payload_arms.push_str(&format!(
+                                "\"{vn}\" => match val {{\n\
+                                 serde::Value::Seq(items) => Ok({name}::{vn}({})),\n\
+                                 _ => Err(serde::DeError::custom(\
+                                 \"expected array payload for {name}::{vn}\")),\n}},\n",
+                                gets.join(", ")
+                            ));
+                        }
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let n = &f.name;
+                            inits.push_str(&format!(
+                                "{n}: match val.get_field(\"{n}\") {{\n\
+                                 Some(x) => serde::Deserialize::from_value(x)?,\n\
+                                 None => return Err(serde::DeError::custom(\
+                                 \"missing field `{n}` in {name}::{vn}\")),\n}},\n"
+                            ));
+                        }
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn} {{ {inits} }}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                 match v {{\n\
+                 serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(serde::DeError::custom(format!(\
+                 \"unknown {name} variant {{other}}\"))),\n\
+                 }},\n\
+                 serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (key, val) = &entries[0];\n\
+                 let _ = val;\n\
+                 match key.as_str() {{\n\
+                 {payload_arms}\
+                 other => Err(serde::DeError::custom(format!(\
+                 \"unknown {name} variant {{other}}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => Err(serde::DeError::custom(\"expected {name} variant\")),\n\
+                 }}\n}}\n}}\n"
+            )
+        }
+    };
+    code.parse().expect("serde derive generated invalid Rust")
+}

@@ -1,0 +1,647 @@
+//! Offline stand-in for `serde_json`, vendored into this workspace.
+//!
+//! Renders the vendored `serde` value tree as JSON and parses JSON back
+//! into it. Output is deterministic: map entries keep insertion order,
+//! and floats use Rust's shortest round-trip formatting (the
+//! `float_roundtrip` feature is therefore always on). Non-finite floats
+//! serialize as `null`, as real `serde_json` does.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+pub use serde::Value as InnerValue;
+
+/// A parsed JSON value.
+///
+/// Re-uses the vendored serde data model so `Serialize`/`Deserialize`
+/// round-trip through it without conversion. `repr(transparent)` makes
+/// the reference cast in [`Value::wrap`] sound.
+#[derive(Debug, Clone, PartialEq)]
+#[repr(transparent)]
+pub struct Value(pub serde::Value);
+
+/// Errors from parsing or rendering JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl fmt::Display) -> Self {
+        Error { msg: msg.to_string() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e)
+    }
+}
+
+/// The `Result` alias used by this crate's API.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn render_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // Shortest representation that round-trips; integers print bare.
+    out.push_str(&format!("{n}"));
+}
+
+fn render(v: &serde::Value, out: &mut String, pretty: bool, indent: usize) {
+    let pad = |out: &mut String, level: usize| {
+        if pretty {
+            out.push('\n');
+            for _ in 0..level {
+                out.push_str("  ");
+            }
+        }
+    };
+    match v {
+        serde::Value::Null => out.push_str("null"),
+        serde::Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        serde::Value::Num(n) => render_number(*n, out),
+        serde::Value::Str(s) => escape_into(s, out),
+        serde::Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, indent + 1);
+                render(item, out, pretty, indent + 1);
+            }
+            pad(out, indent);
+            out.push(']');
+        }
+        serde::Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, indent + 1);
+                escape_into(k, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                render(val, out, pretty, indent + 1);
+            }
+            pad(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Never fails for the vendored data model; the `Result` mirrors the
+/// real API.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    render(&value.to_value(), &mut out, false, 0);
+    Ok(out)
+}
+
+/// Serializes a value to pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Never fails for the vendored data model.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    render(&value.to_value(), &mut out, true, 0);
+    Ok(out)
+}
+
+/// Converts any serializable value into a [`Value`].
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(Value(value.to_value()))
+}
+
+/// Rebuilds a typed value from a [`Value`].
+///
+/// # Errors
+///
+/// Returns an error when the tree's shape does not match `T`.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T> {
+    Ok(T::from_value(&value.0)?)
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<serde::Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", serde::Value::Null),
+            Some(b't') => self.parse_keyword("true", serde::Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", serde::Value::Bool(false)),
+            Some(b'"') => Ok(serde::Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected input at byte {}: {other:?}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: serde::Value) -> Result<serde::Value> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!("invalid keyword at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error::new("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(Error::new("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(Error::new)?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(Error::new)?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("bad \\u escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::new(format!(
+                                "unknown escape \\{}",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-scan as UTF-8 from this byte.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(Error::new)?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<serde::Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit()
+                || b == b'.'
+                || b == b'e'
+                || b == b'E'
+                || b == b'+'
+                || b == b'-'
+            {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(Error::new)?;
+        text.parse::<f64>()
+            .map(serde::Value::Num)
+            .map_err(|e| Error::new(format!("bad number `{text}`: {e}")))
+    }
+
+    fn parse_array(&mut self) -> Result<serde::Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(serde::Value::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(serde::Value::Seq(items));
+                }
+                _ => return Err(Error::new("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<serde::Value> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(serde::Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(serde::Value::Map(entries));
+                }
+                _ => return Err(Error::new("expected `,` or `}` in object")),
+            }
+        }
+    }
+}
+
+/// Parses a typed value from a JSON string.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut parser = Parser::new(s);
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    Ok(T::from_value(&value)?)
+}
+
+/// Parses a typed value from JSON bytes.
+///
+/// # Errors
+///
+/// Returns an error on invalid UTF-8, malformed JSON, or shape mismatch.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(Error::new)?;
+    from_str(s)
+}
+
+// ---------------------------------------------------------------------
+// Value ergonomics (indexing, comparisons, accessors)
+// ---------------------------------------------------------------------
+
+static NULL: Value = Value(serde::Value::Null);
+
+impl Value {
+    /// Member access; returns `Null` for missing keys, like serde_json.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match &self.0 {
+            serde::Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| Self::wrap(v)),
+            _ => None,
+        }
+    }
+
+    fn wrap(v: &serde::Value) -> &Value {
+        // SAFETY: Value is repr(transparent) over serde::Value.
+        unsafe { &*(v as *const serde::Value as *const Value) }
+    }
+
+    /// The value as an array of values, if it is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match &self.0 {
+            serde::Value::Seq(items) => {
+                // SAFETY: Value is repr(transparent) over serde::Value,
+                // so a slice of one is layout-identical to the other.
+                Some(unsafe {
+                    &*(items.as_slice() as *const [serde::Value] as *const [Value])
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an object's entry list, if it is one.
+    pub fn as_object(&self) -> Option<&Vec<(String, serde::Value)>> {
+        match &self.0 {
+            serde::Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match &self.0 {
+            serde::Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if numeric and integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match &self.0 {
+            serde::Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if numeric and integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match &self.0 {
+            serde::Value::Num(n) if n.fract() == 0.0 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match &self.0 {
+            serde::Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match &self.0 {
+            serde::Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self.0, serde::Value::Null)
+    }
+
+    /// Whether the value is a string.
+    pub fn is_string(&self) -> bool {
+        matches!(self.0, serde::Value::Str(_))
+    }
+
+    /// Whether the value is a number.
+    pub fn is_number(&self) -> bool {
+        matches!(self.0, serde::Value::Num(_))
+    }
+
+    /// Whether the value is a boolean.
+    pub fn is_boolean(&self) -> bool {
+        matches!(self.0, serde::Value::Bool(_))
+    }
+
+    /// Whether the value is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self.0, serde::Value::Seq(_))
+    }
+
+    /// Whether the value is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self.0, serde::Value::Map(_))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match &self.0 {
+            serde::Value::Seq(items) => {
+                items.get(idx).map(Value::wrap).unwrap_or(&NULL)
+            }
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<i32> for Value {
+    fn eq(&self, other: &i32) -> bool {
+        self.as_i64() == Some(i64::from(*other))
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> serde::Value {
+        self.0.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        Ok(Value(v.clone()))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        render(&self.0, &mut out, false, 0);
+        f.write_str(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_nested() {
+        let v = serde::Value::Map(vec![
+            ("id".into(), serde::Value::Str("figure-6".into())),
+            (
+                "panels".into(),
+                serde::Value::Seq(vec![serde::Value::Num(0.5)]),
+            ),
+        ]);
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, r#"{"id":"figure-6","panels":[0.5]}"#);
+        let back: Value = from_str(&json).unwrap();
+        assert_eq!(back.0, v);
+    }
+
+    #[test]
+    fn indexing_and_compare() {
+        let v: Value = from_str(r#"{"id":"x","n":[1,2,3]}"#).unwrap();
+        assert_eq!(v["id"], "x");
+        assert_eq!(v["n"].as_array().unwrap().len(), 3);
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn pretty_has_indentation() {
+        let v: Value = from_str(r#"{"a":1}"#).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": 1"));
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let s = "line\n\"quoted\"\tand \\ back";
+        let json = to_string(&serde::Value::Str(s.into())).unwrap();
+        let back: Value = from_str(&json).unwrap();
+        assert_eq!(back.as_str().unwrap(), s);
+    }
+}
