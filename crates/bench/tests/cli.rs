@@ -124,6 +124,73 @@ fn experiments_export_includes_comparisons() {
     assert!(text.contains("Crossovers"));
 }
 
+fn repro_with_fault(args: &[&str], spec: &str) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .env("UCORE_FAULT_INJECT", spec)
+        .output()
+        .expect("repro binary runs")
+}
+
+#[test]
+fn unknown_flag_suggests_the_nearest_known_one() {
+    let out = repro(&["--figrue", "6"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown flag \"--figrue\""), "{err}");
+    assert!(err.contains("did you mean --figure?"), "{err}");
+    assert!(err.contains("usage"), "{err}");
+
+    let out = repro(&["--stat"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("did you mean --stats?"), "{err}");
+}
+
+#[test]
+fn max_failures_value_is_validated() {
+    let out = repro(&["--max-failures", "lots", "--figure", "6"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--max-failures"), "{err}");
+    assert!(err.contains("usage"), "{err}");
+}
+
+#[test]
+fn injected_fault_breaches_the_default_threshold() {
+    // A forced panic at point 3 is contained: the figure still renders,
+    // but the run exits nonzero with a structured diagnostic because the
+    // default --max-failures is 0.
+    let out = repro_with_fault(&["--figure", "6"], "panic@3");
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2), "threshold breach uses exit code 2");
+    assert!(!out.stdout.is_empty(), "figure renders despite the fault");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("sweep failures exceeded --max-failures"), "{err}");
+    assert!(err.contains("points_failed: 1"), "{err}");
+    assert!(err.contains("max_failures: 0"), "{err}");
+    assert!(err.contains("failure at point 3"), "{err}");
+    assert!(err.contains("injected panic at point 3"), "{err}");
+}
+
+#[test]
+fn injected_fault_is_tolerated_with_max_failures_one() {
+    let out = repro_with_fault(&["--max-failures", "1", "--figure", "6"], "panic@3");
+    assert!(out.status.success(), "one failure is within --max-failures 1");
+    assert!(!out.stdout.is_empty());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(!err.contains("exceeded"), "{err}");
+}
+
+#[test]
+fn stats_report_outcome_counters() {
+    let out = repro_with_fault(&["--stats", "--max-failures", "9", "--figure", "6"], "panic@3");
+    assert!(out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("1 failed"), "per-phase failed count: {err}");
+    assert!(err.contains("points:"), "global outcome totals: {err}");
+}
+
 #[test]
 fn bad_arguments_fail_with_usage() {
     for args in [

@@ -77,6 +77,44 @@ impl fmt::Display for ModelError {
 
 impl Error for ModelError {}
 
+/// A coarse classification of model errors, used by callers that handle
+/// whole classes uniformly (e.g. the sweep engine treats every
+/// `Infeasibility` as an expected [`Outcome`], and everything else as a
+/// validation failure at an ingress boundary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCategory {
+    /// The input failed validation: out of range, non-finite, or
+    /// structurally inconsistent. Retrying with the same input cannot
+    /// succeed.
+    InvalidInput,
+    /// The input was valid but no feasible design exists under it — an
+    /// expected, informative outcome of tight budgets.
+    Infeasibility,
+}
+
+impl fmt::Display for ErrorCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ErrorCategory::InvalidInput => "invalid input",
+            ErrorCategory::Infeasibility => "infeasibility",
+        })
+    }
+}
+
+impl ModelError {
+    /// Which [`ErrorCategory`] this error belongs to.
+    pub fn category(&self) -> ErrorCategory {
+        match self {
+            ModelError::Infeasible { .. } => ErrorCategory::Infeasibility,
+            ModelError::InvalidFraction { .. }
+            | ModelError::NonPositive { .. }
+            | ModelError::NotFinite { .. }
+            | ModelError::SequentialExceedsTotal { .. }
+            | ModelError::InvalidPartition { .. } => ErrorCategory::InvalidInput,
+        }
+    }
+}
+
 /// Validates that `value` is strictly positive and finite.
 pub(crate) fn ensure_positive(what: &'static str, value: f64) -> Result<f64, ModelError> {
     if !value.is_finite() {

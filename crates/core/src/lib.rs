@@ -50,6 +50,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The model crate is panic-free by contract: every fallible path returns
+// a typed ModelError. Keep it that way.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bounds;
 pub mod budget;
@@ -76,7 +79,7 @@ pub use cache::{CacheStats, EvalCache, EvalKey, F64Key};
 pub use chip::{ChipSpec, DesignPoint, Evaluation};
 pub use critical::CriticalSectionWorkload;
 pub use energy::{EnergyBreakdown, EnergyModel};
-pub use error::ModelError;
+pub use error::{ErrorCategory, ModelError};
 pub use gustafson::scaled_speedup;
 pub use metrics::{energy_delay_product, perf_per_watt};
 pub use mix::{MixedChip, UCorePartition};

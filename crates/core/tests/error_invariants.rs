@@ -1,0 +1,155 @@
+//! Property tests of the `ModelError` contract: every public
+//! constructor and evaluator in `ucore-core` *returns* `Err` for
+//! poisoned inputs — NaN, ±∞, zero, negative, out-of-range — and never
+//! panics. This is the ingress half of the workspace's fault-containment
+//! story: by the time a value reaches the sweep engine it has either
+//! passed one of these constructors or been rejected with a typed error.
+
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use ucore_core::{
+    amdahl, Budgets, ChipSpec, EnergyModel, ErrorCategory, ModelError,
+    Optimizer, ParallelFraction, PollackLaw, SerialPowerLaw, Speedup, UCore,
+};
+
+/// One draw from the poisoned-input space: NaN, the infinities, zero,
+/// or a negative magnitude.
+fn poisoned() -> impl Strategy<Value = f64> {
+    (prop::sample::select(vec![0u8, 1, 2, 3, 4]), 1e-6..1e9f64).prop_map(
+        |(kind, magnitude)| match kind {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => -magnitude,
+            _ => 0.0,
+        },
+    )
+}
+
+/// Poison for `ParallelFraction`: everything above, plus values past 1.
+fn poisoned_fraction() -> impl Strategy<Value = f64> {
+    (prop::sample::select(vec![0u8, 1, 2, 3, 4]), 1e-6..1e9f64).prop_map(
+        |(kind, magnitude)| match kind {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => -magnitude,
+            _ => 1.0 + magnitude,
+        },
+    )
+}
+
+/// Asserts that `$call` returns `Err` — and in particular does not
+/// panic, which would abort the whole sweep the call was part of.
+macro_rules! assert_rejects {
+    ($call:expr) => {{
+        match catch_unwind(AssertUnwindSafe(|| $call)) {
+            Ok(Err(_)) => {}
+            Ok(Ok(v)) => prop_assert!(
+                false,
+                "{} accepted a poisoned input: {:?}",
+                stringify!($call),
+                v
+            ),
+            Err(_) => {
+                prop_assert!(false, "{} panicked on a poisoned input", stringify!($call))
+            }
+        }
+    }};
+}
+
+fn specs() -> [ChipSpec; 5] {
+    [
+        ChipSpec::symmetric(),
+        ChipSpec::asymmetric(),
+        ChipSpec::asymmetric_offload(),
+        ChipSpec::dynamic(),
+        ChipSpec::heterogeneous(UCore::new(27.4, 0.79).unwrap()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `ParallelFraction` admits exactly `[0, 1]`.
+    #[test]
+    fn parallel_fraction_rejects_everything_outside_unit_interval(
+        bad in poisoned_fraction(),
+    ) {
+        assert_rejects!(ParallelFraction::new(bad));
+    }
+
+    /// Every strictly-positive scalar constructor rejects each poisoned
+    /// argument position, leaving the other positions valid so the
+    /// rejection is attributable to the poison alone.
+    #[test]
+    fn scalar_constructors_reject_poisoned_arguments(
+        bad in poisoned(),
+        good in 0.5..50.0f64,
+    ) {
+        // Single-argument constructors.
+        assert_rejects!(EnergyModel::new(bad));
+        assert_rejects!(PollackLaw::new(bad));
+        assert_rejects!(SerialPowerLaw::new(bad));
+        assert_rejects!(Speedup::new(bad));
+
+        // Multi-argument constructors: poison one position at a time.
+        assert_rejects!(UCore::new(bad, good));
+        assert_rejects!(UCore::new(good, bad));
+        assert_rejects!(Budgets::new(bad, good, good));
+        assert_rejects!(Budgets::new(good, bad, good));
+        assert_rejects!(Budgets::new(good, good, bad));
+        assert_rejects!(Optimizer::new(bad, good, good));
+        assert_rejects!(Optimizer::new(good, bad, good));
+        assert_rejects!(Optimizer::new(good, good, bad));
+    }
+
+    /// Every chip organization's speedup evaluator rejects poisoned
+    /// `n` and `r`, and the over-allocation `r > n`.
+    #[test]
+    fn speedup_evaluators_reject_poisoned_n_and_r(
+        bad in poisoned(),
+        f in 0.0..=0.999f64,
+        n in 4.0..500.0f64,
+    ) {
+        let f = ParallelFraction::new(f).unwrap();
+        assert_rejects!(amdahl(f, bad));
+        for spec in specs() {
+            assert_rejects!(spec.speedup(f, bad, 1.0));
+            assert_rejects!(spec.speedup(f, n, bad));
+            // r > n is structurally infeasible, not a panic.
+            assert_rejects!(spec.speedup(f, n, n * 2.0));
+        }
+    }
+
+    /// Budget-constrained evaluation rejects poison without panicking,
+    /// even with the full bound computation in the loop.
+    #[test]
+    fn budgeted_evaluate_rejects_poisoned_geometry(
+        bad in poisoned(),
+        f in 0.0..=0.999f64,
+    ) {
+        let f = ParallelFraction::new(f).unwrap();
+        let budgets = Budgets::new(40.0, 20.0, 400.0).unwrap();
+        for spec in specs() {
+            assert_rejects!(spec.evaluate(f, bad, 1.0, &budgets));
+            assert_rejects!(spec.evaluate(f, 16.0, bad, &budgets));
+        }
+    }
+
+    /// Poisoned-input rejections are *validation* errors: callers can
+    /// rely on `category()` to separate them from budget infeasibility.
+    #[test]
+    fn poisoned_input_rejections_are_categorized_as_invalid_input(
+        bad in poisoned(),
+    ) {
+        let err = UCore::new(bad, 1.0).unwrap_err();
+        prop_assert_eq!(err.category(), ErrorCategory::InvalidInput);
+        let err = ParallelFraction::new(f64::NAN).unwrap_err();
+        prop_assert_eq!(err.category(), ErrorCategory::InvalidInput);
+        // Infeasibility stays a distinct category: it is an expected
+        // outcome of tight budgets, not a caller bug.
+        let infeasible = ModelError::Infeasible { reason: "tight budgets".into() };
+        prop_assert_eq!(infeasible.category(), ErrorCategory::Infeasibility);
+    }
+}

@@ -103,11 +103,33 @@ impl Catalog {
                 bandwidth_gb_s: None,
             },
         ];
-        let devices = specs
-            .into_iter()
-            .map(|s| Device::new(s).expect("catalog constants are valid"))
-            .collect();
-        Catalog { devices }
+        // The paper constants validate by construction; a regression here
+        // is a programming error in this module, caught by the catalog
+        // tests, so it cannot reach callers as a panic at runtime.
+        match Catalog::from_specs(specs) {
+            Ok(catalog) => catalog,
+            Err(e) => unreachable!("Table 2 constants are valid: {e}"),
+        }
+    }
+
+    /// Builds a catalog from caller-supplied specs (an ingress boundary:
+    /// e.g. an alternative device table loaded from external data).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::NonPositive`] for invalid physical
+    /// quantities (via [`Device::new`]) and
+    /// [`DeviceError::DuplicateDevice`] if an id appears twice.
+    pub fn from_specs(specs: Vec<DeviceSpec>) -> Result<Self, DeviceError> {
+        let mut devices: Vec<Device> = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let device = Device::new(spec)?;
+            if devices.iter().any(|d| d.id() == device.id()) {
+                return Err(DeviceError::DuplicateDevice { device: device.id() });
+            }
+            devices.push(device);
+        }
+        Ok(Catalog { devices })
     }
 
     /// All devices in the paper's column order.
@@ -120,12 +142,26 @@ impl Catalog {
     /// # Panics
     ///
     /// Never panics for ids constructed from [`DeviceId`]: the paper
-    /// catalog contains every id.
+    /// catalog contains every id. Use [`Catalog::try_device`] for
+    /// catalogs built via [`Catalog::from_specs`], which may be partial.
     pub fn device(&self, id: DeviceId) -> &Device {
+        match self.try_device(id) {
+            Ok(device) => device,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Looks up a device by id, reporting absence as a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::MissingDevice`] when the catalog does not
+    /// carry the id.
+    pub fn try_device(&self, id: DeviceId) -> Result<&Device, DeviceError> {
         self.devices
             .iter()
             .find(|d| d.id() == id)
-            .expect("paper catalog contains every DeviceId")
+            .ok_or(DeviceError::MissingDevice { device: id })
     }
 
     /// The U-core candidate devices (everything except the baseline CPU).
@@ -214,6 +250,26 @@ mod tests {
         let ids: Vec<DeviceId> = c.ucore_devices().map(|d| d.id()).collect();
         assert_eq!(ids.len(), 5);
         assert!(!ids.contains(&DeviceId::CoreI7_960));
+    }
+
+    #[test]
+    fn from_specs_rejects_duplicates() {
+        let paper = Catalog::paper();
+        let mut specs: Vec<DeviceSpec> =
+            paper.devices().iter().map(Device::spec).collect();
+        specs.push(specs[0].clone());
+        let err = Catalog::from_specs(specs).unwrap_err();
+        assert!(matches!(err, DeviceError::DuplicateDevice { .. }), "{err}");
+    }
+
+    #[test]
+    fn try_device_reports_absence_as_typed_error() {
+        let paper = Catalog::paper();
+        let partial =
+            Catalog::from_specs(vec![paper.device(DeviceId::CoreI7_960).spec()]).unwrap();
+        assert!(partial.try_device(DeviceId::CoreI7_960).is_ok());
+        let err = partial.try_device(DeviceId::Asic).unwrap_err();
+        assert_eq!(err, DeviceError::MissingDevice { device: DeviceId::Asic });
     }
 
     #[test]

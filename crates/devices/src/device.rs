@@ -23,6 +23,16 @@ pub enum DeviceError {
         /// The device in question.
         device: DeviceId,
     },
+    /// A catalog was supplied with the same device twice.
+    DuplicateDevice {
+        /// The repeated id.
+        device: DeviceId,
+    },
+    /// A device was requested from a catalog that does not carry it.
+    MissingDevice {
+        /// The absent id.
+        device: DeviceId,
+    },
 }
 
 impl fmt::Display for DeviceError {
@@ -33,6 +43,12 @@ impl fmt::Display for DeviceError {
             }
             DeviceError::Unavailable { what, device } => {
                 write!(f, "{what} is not available for {device}")
+            }
+            DeviceError::DuplicateDevice { device } => {
+                write!(f, "device {device} appears more than once in the catalog")
+            }
+            DeviceError::MissingDevice { device } => {
+                write!(f, "device {device} is not in the catalog")
             }
         }
     }
@@ -197,6 +213,24 @@ impl Device {
             memory: spec.memory,
             bandwidth_gb_s: spec.bandwidth_gb_s,
         })
+    }
+
+    /// The constructor arguments that would rebuild this device — useful
+    /// for deriving modified catalogs via [`crate::Catalog::from_specs`].
+    pub fn spec(&self) -> DeviceSpec {
+        DeviceSpec {
+            id: self.id,
+            class: self.class,
+            year: self.year,
+            foundry: self.foundry,
+            node: self.node,
+            die_area_mm2: self.die_area_mm2,
+            core_area_mm2: self.core_area_mm2,
+            clock_ghz: self.clock_ghz,
+            voltage_range_v: self.voltage_range_v,
+            memory: self.memory,
+            bandwidth_gb_s: self.bandwidth_gb_s,
+        }
     }
 
     /// The device identity.

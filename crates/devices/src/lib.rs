@@ -30,6 +30,6 @@ pub mod tech;
 
 pub use bce::BceReference;
 pub use catalog::Catalog;
-pub use device::{Device, DeviceClass, DeviceError, DeviceId};
+pub use device::{Device, DeviceClass, DeviceError, DeviceId, DeviceSpec};
 pub use fpga::FpgaAreaModel;
 pub use tech::TechNode;

@@ -5,13 +5,31 @@ use std::error::Error;
 use std::fmt;
 use ucore_devices::TechNode;
 
-/// Errors raised when querying the roadmap.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Errors raised when constructing or querying the roadmap.
+#[derive(Debug, Clone, PartialEq)]
 pub enum RoadmapError {
     /// The requested node is not part of the projection (e.g. 65 nm).
     NotProjected {
         /// The rejected node.
         node: TechNode,
+    },
+    /// A roadmap was supplied with no nodes.
+    Empty,
+    /// Node years must be strictly increasing.
+    UnsortedYears {
+        /// The earlier year in the offending pair.
+        prev: u32,
+        /// The year that failed to increase past it.
+        next: u32,
+    },
+    /// A scaling parameter that must be positive and finite was not.
+    InvalidScale {
+        /// Name of the parameter.
+        what: &'static str,
+        /// The node carrying it.
+        node: TechNode,
+        /// The rejected value.
+        value: f64,
     },
 }
 
@@ -20,6 +38,13 @@ impl fmt::Display for RoadmapError {
         match self {
             RoadmapError::NotProjected { node } => {
                 write!(f, "node {node} is not in the projection roadmap")
+            }
+            RoadmapError::Empty => write!(f, "roadmap has no nodes"),
+            RoadmapError::UnsortedYears { prev, next } => {
+                write!(f, "roadmap years must strictly increase, got {prev} then {next}")
+            }
+            RoadmapError::InvalidScale { what, node, value } => {
+                write!(f, "{what} at node {node} must be positive and finite, got {value}")
             }
         }
     }
@@ -91,6 +116,49 @@ impl Roadmap {
             })
             .collect();
         Roadmap { nodes }
+    }
+
+    /// Builds a roadmap from caller-supplied node rows (an ingress
+    /// boundary: e.g. an alternative table loaded from external data).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoadmapError::Empty`] for an empty table,
+    /// [`RoadmapError::UnsortedYears`] if years are not strictly
+    /// increasing (interpolation in [`Roadmap::at_year`] depends on
+    /// this), and [`RoadmapError::InvalidScale`] if any budget or scale
+    /// factor is not positive and finite.
+    pub fn from_nodes(nodes: Vec<NodeParams>) -> Result<Roadmap, RoadmapError> {
+        if nodes.is_empty() {
+            return Err(RoadmapError::Empty);
+        }
+        for pair in nodes.windows(2) {
+            if pair[1].year <= pair[0].year {
+                return Err(RoadmapError::UnsortedYears {
+                    prev: pair[0].year,
+                    next: pair[1].year,
+                });
+            }
+        }
+        for p in &nodes {
+            for (what, value) in [
+                ("core die budget", p.core_die_budget_mm2),
+                ("core power budget", p.core_power_budget_w),
+                ("bandwidth", p.bandwidth_gb_s),
+                ("area budget", p.max_area_bce),
+                ("relative power per transistor", p.rel_power_per_transistor),
+                ("relative bandwidth", p.rel_bandwidth),
+            ] {
+                if !value.is_finite() || value <= 0.0 {
+                    return Err(RoadmapError::InvalidScale {
+                        what,
+                        node: p.node,
+                        value,
+                    });
+                }
+            }
+        }
+        Ok(Roadmap { nodes })
     }
 
     /// All nodes, oldest first.
@@ -168,8 +236,9 @@ impl Roadmap {
     /// Returns [`RoadmapError::NotProjected`] if the year falls outside
     /// the roadmap horizon.
     pub fn at_year(&self, year: u32) -> Result<NodeParams, RoadmapError> {
-        let first = self.nodes.first().expect("roadmap is non-empty");
-        let last = self.nodes.last().expect("roadmap is non-empty");
+        let (Some(first), Some(last)) = (self.nodes.first(), self.nodes.last()) else {
+            return Err(RoadmapError::Empty);
+        };
         if year < first.year || year > last.year {
             // Report against the nearest end node for a meaningful error.
             return Err(RoadmapError::NotProjected { node: first.node });
@@ -177,13 +246,17 @@ impl Roadmap {
         if let Some(exact) = self.nodes.iter().find(|p| p.year == year) {
             return Ok(*exact);
         }
-        let after_idx = self
+        // Unreachable while years are sorted (guaranteed by the builders
+        // and validated by `from_nodes`), but a malformed roadmap must
+        // degrade to an error, never panic the projection path.
+        let bracket = self
             .nodes
             .iter()
             .position(|p| p.year > year)
-            .expect("year is within the horizon");
-        let lo = self.nodes[after_idx - 1];
-        let hi = self.nodes[after_idx];
+            .and_then(|i| Some((self.nodes.get(i.checked_sub(1)?)?, self.nodes.get(i)?)));
+        let Some((&lo, &hi)) = bracket else {
+            return Err(RoadmapError::UnsortedYears { prev: first.year, next: last.year });
+        };
         let t = f64::from(year - lo.year) / f64::from(hi.year - lo.year);
         let geo = |a: f64, b: f64| (a.ln() + t * (b.ln() - a.ln())).exp();
         let lin = |a: f64, b: f64| a + t * (b - a);
@@ -334,6 +407,40 @@ mod tests {
         let r = Roadmap::itrs_2009();
         assert!(r.at_year(2010).is_err());
         assert!(r.at_year(2023).is_err());
+    }
+
+    #[test]
+    fn from_nodes_round_trips_table6() {
+        let nodes = Roadmap::itrs_2009().nodes().to_vec();
+        let rebuilt = Roadmap::from_nodes(nodes).unwrap();
+        assert_eq!(rebuilt, Roadmap::itrs_2009());
+    }
+
+    #[test]
+    fn from_nodes_rejects_empty() {
+        assert_eq!(Roadmap::from_nodes(Vec::new()).unwrap_err(), RoadmapError::Empty);
+    }
+
+    #[test]
+    fn from_nodes_rejects_unsorted_years() {
+        let mut nodes = Roadmap::itrs_2009().nodes().to_vec();
+        nodes.swap(0, 1);
+        let err = Roadmap::from_nodes(nodes).unwrap_err();
+        assert!(matches!(err, RoadmapError::UnsortedYears { .. }), "{err}");
+    }
+
+    #[test]
+    fn from_nodes_rejects_non_finite_scales() {
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -3.0] {
+            let mut nodes = Roadmap::itrs_2009().nodes().to_vec();
+            nodes[2].rel_power_per_transistor = bad;
+            let err = Roadmap::from_nodes(nodes).unwrap_err();
+            assert!(
+                matches!(err, RoadmapError::InvalidScale { what, .. }
+                    if what.contains("power per transistor")),
+                "{err}"
+            );
+        }
     }
 
     #[test]

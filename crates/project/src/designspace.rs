@@ -108,16 +108,16 @@ impl DesignSpaceMap {
         &self.phi_values
     }
 
-    /// The cell nearest a `(µ, φ)` point.
-    pub fn nearest(&self, mu: f64, phi: f64) -> &DesignSpaceCell {
-        self.cells
-            .iter()
-            .min_by(|a, b| {
-                let da = (a.mu.ln() - mu.ln()).abs() + (a.phi.ln() - phi.ln()).abs();
-                let db = (b.mu.ln() - mu.ln()).abs() + (b.phi.ln() - phi.ln()).abs();
-                da.partial_cmp(&db).expect("distances are finite")
-            })
-            .expect("sweep grids are non-empty")
+    /// The cell nearest a `(µ, φ)` point, or `None` for an empty map.
+    /// Distances compare via `total_cmp`, so a NaN query (e.g. a
+    /// negative µ whose log is undefined) still selects deterministically
+    /// instead of panicking.
+    pub fn nearest(&self, mu: f64, phi: f64) -> Option<&DesignSpaceCell> {
+        self.cells.iter().min_by(|a, b| {
+            let da = (a.mu.ln() - mu.ln()).abs() + (a.phi.ln() - phi.ln()).abs();
+            let db = (b.mu.ln() - mu.ln()).abs() + (b.phi.ln() - phi.ln()).abs();
+            da.total_cmp(&db)
+        })
     }
 }
 
@@ -230,7 +230,7 @@ mod tests {
     fn nearest_finds_the_right_cell() {
         let map = DesignSpaceMap::sweep(&budgets(), f(0.9), (1.0, 100.0), (0.1, 10.0), 5)
             .unwrap();
-        let c = map.nearest(100.0, 10.0);
+        let c = map.nearest(100.0, 10.0).unwrap();
         assert_eq!(c.mu, *map.mu_values().last().unwrap());
         assert_eq!(c.phi, *map.phi_values().last().unwrap());
     }

@@ -109,6 +109,9 @@ pub struct ProjectionEngine {
     scenario: Scenario,
     table5: Table5,
     cache: Arc<EvalCache>,
+    /// The scenario's `r` sweep, validated once at construction so the
+    /// hot path never re-validates (and never panics).
+    optimizer: Optimizer,
 }
 
 impl ProjectionEngine {
@@ -137,7 +140,14 @@ impl ProjectionEngine {
     ) -> Result<Self, ProjectionError> {
         let table5 =
             Table5::derive().map_err(|e| ProjectionError::Calibration(e.to_string()))?;
-        Ok(ProjectionEngine { scenario, table5, cache })
+        let optimizer =
+            Optimizer::new(1.0, scenario.r_max(), 1.0).map_err(|e| {
+                ProjectionError::Calibration(format!(
+                    "scenario {:?} has an invalid r sweep: {e}",
+                    scenario.name()
+                ))
+            })?;
+        Ok(ProjectionEngine { scenario, table5, cache, optimizer })
     }
 
     /// The engine's scenario.
@@ -155,9 +165,10 @@ impl ProjectionEngine {
         &self.cache
     }
 
-    /// The `r` sweep this scenario prescribes.
+    /// The `r` sweep this scenario prescribes (validated at engine
+    /// construction).
     pub fn optimizer(&self) -> Optimizer {
-        Optimizer::new(1.0, self.scenario.r_max(), 1.0).expect("scenario r_max is valid")
+        self.optimizer
     }
 
     /// Evaluates one `(spec, node, budgets, f)` cell: the memoized
@@ -178,10 +189,12 @@ impl ProjectionEngine {
             optimizer.optimize(spec, budgets, f).ok()?
         };
         // Normalized energy at this node: linear in the node's power
-        // scale.
+        // scale. A node with an unusable power scale degrades to a NaN
+        // energy (plotted as a gap), like any other energy failure.
         let energy = EnergyModel::new(node.rel_power_per_transistor)
-            .expect("roadmap scales are valid")
-            .breakdown(spec, f, best.evaluation.n, best.evaluation.r)
+            .and_then(|m| {
+                m.breakdown(spec, f, best.evaluation.n, best.evaluation.r)
+            })
             .map(|b| b.total())
             .unwrap_or(f64::NAN);
         Some(NodePoint {

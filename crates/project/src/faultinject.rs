@@ -1,0 +1,264 @@
+//! Deterministic fault injection for the sweep engine.
+//!
+//! The projection pipeline promises *fault containment*: a poisoned
+//! design point degrades exactly one [`Outcome`](crate::sweep::Outcome)
+//! instead of aborting the figure. That promise is only worth anything
+//! if it is exercised, so this module can deterministically inject
+//! faults into a sweep — a forced panic, a NaN or ∞ model parameter, or
+//! a simulated cache-layer error — at chosen submission indices.
+//!
+//! Faults are keyed on the *submission index* of a point, which is
+//! stable across thread counts and scheduling, so an injected run is
+//! reproducible: the same point fails, every other point is bit-identical
+//! to an uninjected run.
+//!
+//! # Activation
+//!
+//! Programmatically, [`activate`] installs a [`FaultPlan`] and returns a
+//! guard that removes it on drop:
+//!
+//! ```
+//! use ucore_project::faultinject::{Fault, FaultPlan};
+//! let _guard = ucore_project::faultinject::activate(
+//!     FaultPlan::new().with(3, Fault::Panic),
+//! );
+//! // sweeps run while the guard lives see a forced panic at point 3
+//! ```
+//!
+//! From the outside, the `UCORE_FAULT_INJECT` environment variable
+//! carries the same plan in `kind@index[,kind@index...]` syntax, e.g.
+//! `UCORE_FAULT_INJECT=panic@3,nan@7` — the form the CI fault-injection
+//! job and the `repro` acceptance tests use. Kinds: `panic`, `nan`,
+//! `inf`, `cache`.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+/// One kind of injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic inside the evaluation of the point (exercises
+    /// `catch_unwind` containment).
+    Panic,
+    /// Feed a NaN parameter to the model's ingress validation (exercises
+    /// the typed-error path: validation must reject it, never propagate
+    /// NaN into results).
+    NanParam,
+    /// Feed an infinite parameter to the model's ingress validation.
+    InfParam,
+    /// Simulate a cache-layer failure: the memo lookup errors out and
+    /// must not corrupt the shared cache.
+    CacheError,
+}
+
+impl Fault {
+    fn keyword(self) -> &'static str {
+        match self {
+            Fault::Panic => "panic",
+            Fault::NanParam => "nan",
+            Fault::InfParam => "inf",
+            Fault::CacheError => "cache",
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A parse failure of a `UCORE_FAULT_INJECT` specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError {
+    /// The offending fragment.
+    pub fragment: String,
+    /// Why it was rejected.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid fault spec {:?}: {} (expected kind@index with kind one of \
+             panic|nan|inf|cache)",
+            self.fragment, self.reason
+        )
+    }
+}
+
+impl Error for FaultSpecError {}
+
+/// A deterministic set of faults, keyed by sweep submission index.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: BTreeMap<usize, Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault at a submission index (builder style). A later fault
+    /// at the same index replaces the earlier one.
+    #[must_use]
+    pub fn with(mut self, index: usize, fault: Fault) -> Self {
+        self.faults.insert(index, fault);
+        self
+    }
+
+    /// The fault planned for a submission index, if any.
+    pub fn fault_at(&self, index: usize) -> Option<Fault> {
+        self.faults.get(&index).copied()
+    }
+
+    /// Number of planned faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Parses a `kind@index[,kind@index...]` specification, the
+    /// `UCORE_FAULT_INJECT` syntax. Whitespace around fragments is
+    /// ignored; an empty string is an empty plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultSpecError`] for an unknown kind or an unparsable
+    /// index.
+    pub fn parse(spec: &str) -> Result<Self, FaultSpecError> {
+        let mut plan = FaultPlan::new();
+        for fragment in spec.split(',') {
+            let fragment = fragment.trim();
+            if fragment.is_empty() {
+                continue;
+            }
+            let Some((kind, index)) = fragment.split_once('@') else {
+                return Err(FaultSpecError {
+                    fragment: fragment.into(),
+                    reason: "missing '@'",
+                });
+            };
+            let fault = match kind.trim() {
+                "panic" => Fault::Panic,
+                "nan" => Fault::NanParam,
+                "inf" => Fault::InfParam,
+                "cache" => Fault::CacheError,
+                _ => {
+                    return Err(FaultSpecError {
+                        fragment: fragment.into(),
+                        reason: "unknown fault kind",
+                    })
+                }
+            };
+            let index: usize = index.trim().parse().map_err(|_| FaultSpecError {
+                fragment: fragment.into(),
+                reason: "index is not a non-negative integer",
+            })?;
+            plan.faults.insert(index, fault);
+        }
+        Ok(plan)
+    }
+}
+
+/// The process-wide active plan. `None` means "consult the environment".
+static ACTIVE: RwLock<Option<Arc<FaultPlan>>> = RwLock::new(None);
+
+/// Removes the active plan when dropped, restoring env-var behavior.
+#[derive(Debug)]
+pub struct FaultGuard {
+    _private: (),
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        if let Ok(mut slot) = ACTIVE.write() {
+            *slot = None;
+        }
+    }
+}
+
+/// Installs a plan for every sweep in the process until the returned
+/// guard is dropped. Replaces any previously active plan.
+pub fn activate(plan: FaultPlan) -> FaultGuard {
+    if let Ok(mut slot) = ACTIVE.write() {
+        *slot = Some(Arc::new(plan));
+    }
+    FaultGuard { _private: () }
+}
+
+/// The plan a starting sweep should apply: the programmatically
+/// activated one if present, otherwise whatever `UCORE_FAULT_INJECT`
+/// specifies (an unparsable variable is reported on stderr once per
+/// sweep and ignored — fault injection must never corrupt a run it was
+/// meant to test), otherwise `None`.
+pub fn current_plan() -> Option<Arc<FaultPlan>> {
+    if let Ok(slot) = ACTIVE.read() {
+        if let Some(plan) = slot.as_ref() {
+            return Some(Arc::clone(plan));
+        }
+    }
+    let spec = std::env::var("UCORE_FAULT_INJECT").ok()?;
+    match FaultPlan::parse(&spec) {
+        Ok(plan) if !plan.is_empty() => Some(Arc::new(plan)),
+        Ok(_) => None,
+        Err(e) => {
+            eprintln!("warning: UCORE_FAULT_INJECT ignored: {e}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_syntax() {
+        let plan = FaultPlan::parse(" panic@3 , nan@7,inf@0,cache@12 ").unwrap();
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan.fault_at(3), Some(Fault::Panic));
+        assert_eq!(plan.fault_at(7), Some(Fault::NanParam));
+        assert_eq!(plan.fault_at(0), Some(Fault::InfParam));
+        assert_eq!(plan.fault_at(12), Some(Fault::CacheError));
+        assert_eq!(plan.fault_at(1), None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_fragments() {
+        for bad in ["panic", "panic@x", "frob@3", "@3", "panic@-1"] {
+            let err = FaultPlan::parse(bad).unwrap_err();
+            assert!(err.to_string().contains("invalid fault spec"), "{bad}");
+        }
+    }
+
+    #[test]
+    fn parse_empty_is_empty_plan() {
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse(" , ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn later_fault_at_same_index_wins() {
+        let plan = FaultPlan::new().with(5, Fault::Panic).with(5, Fault::NanParam);
+        assert_eq!(plan.fault_at(5), Some(Fault::NanParam));
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn display_round_trips_keywords() {
+        for f in [Fault::Panic, Fault::NanParam, Fault::InfParam, Fault::CacheError] {
+            let plan = FaultPlan::parse(&format!("{f}@1")).unwrap();
+            assert_eq!(plan.fault_at(1), Some(f));
+        }
+    }
+}

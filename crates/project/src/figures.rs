@@ -9,7 +9,7 @@
 //! the scenario studies — are optimized only once per process.
 
 use crate::engine::{DesignId, ProjectionEngine, ProjectionError};
-use crate::results::{FigureData, Metric, Panel, Series};
+use crate::results::{FailureRecord, FigureData, Metric, Panel, Series, SweepHealth};
 use crate::scenario::Scenario;
 use crate::sweep::{figure_points, sweep, SweepConfig};
 use ucore_calibrate::WorkloadColumn;
@@ -37,18 +37,35 @@ fn figure_with_metric(
     let designs = DesignId::for_column(engine.table5(), column);
     let nodes_per_series = engine.scenario().roadmap().nodes().len();
     let points = figure_points(&engine, &designs, column, f_values)?;
-    let (results, _stats) = sweep(&engine, points, &SweepConfig::default());
+    let (results, stats) = sweep(&engine, points, &SweepConfig::default());
 
     // Reassemble the ordered results into panels: the batch was built
     // with f outermost, then design, then node, so consecutive
-    // `nodes_per_series` chunks form one series.
+    // `nodes_per_series` chunks form one series. A failed point leaves
+    // its node absent from the series (like an infeasible one) and is
+    // recorded in the figure's failure log instead.
     let mut chunks = results.chunks(nodes_per_series);
     let mut panels = Vec::with_capacity(f_values.len());
+    let mut failures = Vec::new();
     for &fv in f_values {
         let mut series = Vec::with_capacity(designs.len());
         for &design in &designs {
-            let chunk = chunks.next().expect("batch covers every (f, design) pair");
-            let points = chunk.iter().filter_map(|r| r.outcome).collect();
+            let Some(chunk) = chunks.next() else {
+                // Unreachable while figure_points covers the grid, but a
+                // short figure must never panic mid-assembly.
+                break;
+            };
+            let points = chunk.iter().filter_map(|r| r.outcome.node_point()).collect();
+            for r in chunk {
+                if let Some(message) = r.outcome.failure_message() {
+                    failures.push(FailureRecord {
+                        index: r.index,
+                        f: fv,
+                        label: design.label(),
+                        message: message.to_string(),
+                    });
+                }
+            }
             series.push(Series { label: design.label(), points });
         }
         panels.push(Panel { f: fv, series });
@@ -58,6 +75,12 @@ fn figure_with_metric(
         title: title.into(),
         metric,
         panels,
+        health: SweepHealth {
+            points_ok: stats.points_ok,
+            points_infeasible: stats.points_infeasible,
+            points_failed: stats.points_failed,
+        },
+        failures,
     })
 }
 

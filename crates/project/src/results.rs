@@ -40,6 +40,39 @@ pub struct Panel {
     pub series: Vec<Series>,
 }
 
+/// Outcome counters for the sweep that produced a figure.
+///
+/// `points_ok + points_infeasible + points_failed` equals the size of
+/// the figure's `(f, design, node)` grid. A healthy figure has
+/// `points_failed == 0`; `repro --max-failures` polices the total
+/// across all rendered figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SweepHealth {
+    /// Points with a feasible optimum.
+    pub points_ok: usize,
+    /// Points with no feasible design under their budgets (expected
+    /// under tight scenarios; omitted from series, not an error).
+    pub points_infeasible: usize,
+    /// Points whose evaluation failed (contained panic or injected
+    /// fault).
+    pub points_failed: usize,
+}
+
+/// One contained failure recorded during figure assembly: which cell of
+/// the sweep grid failed and why. The point's slot in its series is
+/// simply absent; nothing else in the figure is affected.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureRecord {
+    /// Submission index of the failed point within the figure's sweep.
+    pub index: usize,
+    /// The parallel fraction of the failed cell.
+    pub f: f64,
+    /// The series label of the failed cell.
+    pub label: String,
+    /// The contained panic payload or injected-fault diagnostic.
+    pub message: String,
+}
+
 /// A reproduced figure: its identity and panels.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FigureData {
@@ -51,6 +84,10 @@ pub struct FigureData {
     pub metric: Metric,
     /// One panel per swept `f`.
     pub panels: Vec<Panel>,
+    /// Outcome counters for the sweep that produced this figure.
+    pub health: SweepHealth,
+    /// Contained failures, in submission order (empty when healthy).
+    pub failures: Vec<FailureRecord>,
 }
 
 /// What a figure's y-axis shows.
@@ -93,6 +130,8 @@ mod tests {
             id: "figure-6".into(),
             title: "FFT-1024 projection".into(),
             metric: Metric::Speedup,
+            health: SweepHealth { points_ok: 1, points_infeasible: 0, points_failed: 0 },
+            failures: Vec::new(),
             panels: vec![Panel {
                 f: 0.9,
                 series: vec![Series {

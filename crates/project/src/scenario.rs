@@ -105,6 +105,10 @@ impl Scenario {
     }
 
     /// The serial power law as a model object.
+    // Alphas come only from this module's private constants, all of
+    // which SerialPowerLaw accepts; there is no caller-supplied path to
+    // this expect.
+    #[allow(clippy::expect_used)]
     pub fn power_law(&self) -> SerialPowerLaw {
         SerialPowerLaw::new(self.alpha).expect("scenario alphas are valid")
     }

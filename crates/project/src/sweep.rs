@@ -20,21 +20,46 @@
 //!    function keyed on every input, so a cache hit returns exactly what
 //!    the evaluation would have computed.
 //! 2. **Order restoration** — workers pull indices from an atomic
-//!    counter and tag each outcome with its index; the engine sorts the
-//!    merged outcomes by index before returning. Thread interleaving
-//!    affects wall time only, never the result vector.
+//!    counter and tag each outcome with its index; the engine merges the
+//!    tagged outcomes back into submission slots before returning.
+//!    Thread interleaving affects wall time only, never the result
+//!    vector.
+//!
+//! # Fault containment
+//!
+//! Every point evaluates inside [`std::panic::catch_unwind`]: a panic —
+//! a model bug on a pathological corner of the design space, or a fault
+//! injected by [`faultinject`](crate::faultinject) — degrades that one
+//! point to [`Outcome::Failed`] instead of aborting the sweep. The
+//! containment guarantees are:
+//!
+//! * a fault at point *k* produces exactly one `Failed` outcome, at
+//!   index *k*;
+//! * every other outcome is bit-identical to an uninjected run, at any
+//!   thread count;
+//! * the shared memoization cache is never polluted by a failed point
+//!   (a contained panic happens *before* the cache insert; an injected
+//!   cache error bypasses the cache entirely).
+//!
+//! Failed points are counted in [`SweepStats`], surfaced in figure
+//! exports, and policed by `repro --max-failures` (default 0: any
+//! failure fails the run).
 //!
 //! # Observability
 //!
 //! Every sweep returns [`SweepStats`] alongside its results: points
-//! evaluated, threads used, cache hit/miss deltas, and the wall time of
-//! the evaluation phase. The `repro --stats` flag surfaces the global
-//! totals after rendering.
+//! evaluated, outcome counts (ok / infeasible / failed), threads used,
+//! cache hit/miss deltas, and the wall time of the evaluation phase.
+//! The `repro --stats` flag surfaces the global totals after rendering.
 
 use crate::engine::{DesignId, ProjectionEngine};
+use crate::faultinject::{self, Fault, FaultPlan};
 use crate::results::NodePoint;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, Once};
 use std::time::{Duration, Instant};
 use ucore_calibrate::WorkloadColumn;
 use ucore_core::{Budgets, ParallelFraction};
@@ -56,17 +81,61 @@ pub struct SweepPoint {
     pub f: ParallelFraction,
 }
 
+/// How one design-point evaluation ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// A feasible optimum was found.
+    Feasible(NodePoint),
+    /// No feasible design exists at this cell (an *expected*, typed
+    /// outcome under tight budgets — the sequential engine omits such
+    /// nodes from its series).
+    Infeasible,
+    /// The evaluation failed: it panicked, or a fault was injected. The
+    /// failure is contained to this point; the rest of the sweep is
+    /// unaffected.
+    Failed {
+        /// The panic payload or injected-fault diagnostic.
+        panic_msg: String,
+    },
+}
+
+impl Outcome {
+    /// The evaluated node point, when feasible.
+    pub fn node_point(&self) -> Option<NodePoint> {
+        match self {
+            Outcome::Feasible(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// Whether this point failed (panicked or was fault-injected).
+    pub fn is_failed(&self) -> bool {
+        matches!(self, Outcome::Failed { .. })
+    }
+
+    /// Whether this point was infeasible under its budgets.
+    pub fn is_infeasible(&self) -> bool {
+        matches!(self, Outcome::Infeasible)
+    }
+
+    /// The failure diagnostic, when failed.
+    pub fn failure_message(&self) -> Option<&str> {
+        match self {
+            Outcome::Failed { panic_msg } => Some(panic_msg),
+            _ => None,
+        }
+    }
+}
+
 /// The outcome of one [`SweepPoint`], tagged with its submission index.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepResult {
     /// Position of the point in the submitted batch.
     pub index: usize,
     /// The point that was evaluated.
     pub point: SweepPoint,
-    /// The evaluated node point, or `None` when no feasible design
-    /// exists at this cell (matching the sequential engine, which omits
-    /// such nodes from its series).
-    pub outcome: Option<NodePoint>,
+    /// How the evaluation ended.
+    pub outcome: Outcome,
 }
 
 /// How a sweep runs.
@@ -117,6 +186,13 @@ fn env_thread_override() -> Option<usize> {
 pub struct SweepStats {
     /// Points in the batch (evaluated or answered from cache).
     pub points: usize,
+    /// Points that produced a feasible optimum.
+    pub points_ok: usize,
+    /// Points with no feasible design under their budgets.
+    pub points_infeasible: usize,
+    /// Points whose evaluation failed (contained panic or injected
+    /// fault).
+    pub points_failed: usize,
     /// Worker threads used.
     pub threads: usize,
     /// Cache hits during this sweep.
@@ -128,31 +204,116 @@ pub struct SweepStats {
     pub wall: Duration,
 }
 
+/// Process-wide outcome totals across every sweep so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OutcomeTotals {
+    /// Feasible points.
+    pub ok: u64,
+    /// Infeasible points.
+    pub infeasible: u64,
+    /// Failed (contained) points.
+    pub failed: u64,
+}
+
+static TOTAL_OK: AtomicU64 = AtomicU64::new(0);
+static TOTAL_INFEASIBLE: AtomicU64 = AtomicU64::new(0);
+static TOTAL_FAILED: AtomicU64 = AtomicU64::new(0);
+
+/// The process-wide outcome totals (the `repro --stats` /
+/// `--max-failures` counters).
+pub fn outcome_totals() -> OutcomeTotals {
+    OutcomeTotals {
+        ok: TOTAL_OK.load(Ordering::Relaxed),
+        infeasible: TOTAL_INFEASIBLE.load(Ordering::Relaxed),
+        failed: TOTAL_FAILED.load(Ordering::Relaxed),
+    }
+}
+
+/// A retained failure diagnostic (the first
+/// [`MAX_RETAINED_FAILURES`] per process are kept for reporting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureDiagnostic {
+    /// Submission index of the failed point within its sweep.
+    pub index: usize,
+    /// The contained panic payload or injected-fault message.
+    pub panic_msg: String,
+}
+
+/// Retention cap for per-process failure diagnostics: enough to
+/// diagnose, bounded so a pathological sweep cannot balloon memory.
+pub const MAX_RETAINED_FAILURES: usize = 64;
+
+static FAILURE_LOG: Mutex<Vec<FailureDiagnostic>> = Mutex::new(Vec::new());
+
+fn record_failures(results: &[Outcome]) {
+    let mut log = FAILURE_LOG
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    for (index, outcome) in results.iter().enumerate() {
+        if log.len() >= MAX_RETAINED_FAILURES {
+            break;
+        }
+        if let Outcome::Failed { panic_msg } = outcome {
+            log.push(FailureDiagnostic { index, panic_msg: panic_msg.clone() });
+        }
+    }
+}
+
+/// A snapshot of the retained per-process failure diagnostics.
+pub fn failure_diagnostics() -> Vec<FailureDiagnostic> {
+    FAILURE_LOG
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone()
+}
+
 /// Evaluates a batch of points, fanning over worker threads.
 ///
 /// Results come back in submission order with their indices, so callers
 /// can reassemble figures deterministically. With `config.threads ==
 /// Some(1)` the batch runs on the calling thread; the produced results
 /// are identical in either mode.
+///
+/// Evaluation is fault-contained: a panicking point (or one poisoned by
+/// the active [`faultinject`] plan) yields [`Outcome::Failed`] for that
+/// index while every other point completes normally.
 pub fn sweep(
     engine: &ProjectionEngine,
     points: Vec<SweepPoint>,
     config: &SweepConfig,
 ) -> (Vec<SweepResult>, SweepStats) {
     let threads = config.effective_threads(points.len());
+    let plan = faultinject::current_plan();
+    let plan = plan.as_deref();
     let cache_before = engine.cache().stats();
     let start = Instant::now();
 
-    let outcomes: Vec<Option<NodePoint>> = if threads <= 1 || points.len() <= 1 {
-        points.iter().map(|p| evaluate(engine, p, config.use_cache)).collect()
+    let outcomes: Vec<Outcome> = if threads <= 1 || points.len() <= 1 {
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| evaluate_contained(engine, p, i, config.use_cache, plan))
+            .collect()
     } else {
-        parallel_outcomes(engine, &points, threads, config.use_cache)
+        parallel_outcomes(engine, &points, threads, config.use_cache, plan)
     };
 
     let wall = start.elapsed();
     let cache_after = engine.cache().stats();
+    let points_ok = outcomes.iter().filter(|o| o.node_point().is_some()).count();
+    let points_infeasible = outcomes.iter().filter(|o| o.is_infeasible()).count();
+    let points_failed = outcomes.iter().filter(|o| o.is_failed()).count();
+    TOTAL_OK.fetch_add(points_ok as u64, Ordering::Relaxed);
+    TOTAL_INFEASIBLE.fetch_add(points_infeasible as u64, Ordering::Relaxed);
+    TOTAL_FAILED.fetch_add(points_failed as u64, Ordering::Relaxed);
+    if points_failed > 0 {
+        record_failures(&outcomes);
+    }
     let stats = SweepStats {
         points: points.len(),
+        points_ok,
+        points_infeasible,
+        points_failed,
         threads,
         cache_hits: cache_after.hits - cache_before.hits,
         cache_misses: cache_after.misses - cache_before.misses,
@@ -188,15 +349,19 @@ pub fn drain_phase_log() -> Vec<SweepStats> {
 
 /// Work-queue fan-out: workers claim indices from a shared atomic
 /// counter, collect `(index, outcome)` pairs locally, and the merged
-/// pairs are sorted back into submission order.
+/// pairs are slotted back into submission order. A worker that dies
+/// mid-batch (impossible while per-point containment holds, but the
+/// join is defensive anyway) surfaces as `Failed` outcomes for the
+/// points it never delivered — never as a whole-sweep abort.
 fn parallel_outcomes(
     engine: &ProjectionEngine,
     points: &[SweepPoint],
     threads: usize,
     use_cache: bool,
-) -> Vec<Option<NodePoint>> {
+    plan: Option<&FaultPlan>,
+) -> Vec<Outcome> {
     let next = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, Option<NodePoint>)> = crossbeam::scope(|scope| {
+    let scope_result = crossbeam::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let next = &next;
@@ -207,20 +372,137 @@ fn parallel_outcomes(
                         let Some(point) = points.get(i) else {
                             break;
                         };
-                        local.push((i, evaluate(engine, point, use_cache)));
+                        local.push((
+                            i,
+                            evaluate_contained(engine, point, i, use_cache, plan),
+                        ));
                     }
                     local
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
-    })
-    .expect("sweep scope does not panic");
-    tagged.sort_unstable_by_key(|&(i, _)| i);
-    tagged.into_iter().map(|(_, outcome)| outcome).collect()
+        let mut tagged: Vec<(usize, Outcome)> = Vec::with_capacity(points.len());
+        let mut worker_panics: Vec<String> = Vec::new();
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => tagged.extend(local),
+                Err(payload) => worker_panics.push(panic_message(payload.as_ref())),
+            }
+        }
+        (tagged, worker_panics)
+    });
+    let (tagged, worker_panics) = match scope_result {
+        Ok(collected) => collected,
+        Err(payload) => (Vec::new(), vec![panic_message(payload.as_ref())]),
+    };
+
+    // Slot tagged outcomes into submission order; indices a dead worker
+    // never delivered degrade to Failed.
+    let mut slots: Vec<Option<Outcome>> = vec![None; points.len()];
+    for (i, outcome) in tagged {
+        if let Some(slot) = slots.get_mut(i) {
+            *slot = Some(outcome);
+        }
+    }
+    let worker_msg = if worker_panics.is_empty() {
+        String::from("sweep worker terminated before delivering this point")
+    } else {
+        format!("sweep worker panicked: {}", worker_panics.join("; "))
+    };
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.unwrap_or_else(|| Outcome::Failed { panic_msg: worker_msg.clone() })
+        })
+        .collect()
+}
+
+/// Evaluates one point inside a panic boundary, applying any injected
+/// fault first. Injected parameter faults route the poisoned scalar
+/// through the model's ingress validation, so the typed rejection —
+/// never a raw NaN — becomes the contained failure. The injected
+/// cache-layer error returns before any cache access, so the shared
+/// memo table cannot be polluted by it.
+fn evaluate_contained(
+    engine: &ProjectionEngine,
+    point: &SweepPoint,
+    index: usize,
+    use_cache: bool,
+    plan: Option<&FaultPlan>,
+) -> Outcome {
+    let fault = plan.and_then(|p| p.fault_at(index));
+    match fault {
+        Some(Fault::NanParam) => return injected_param_fault(index, f64::NAN),
+        Some(Fault::InfParam) => return injected_param_fault(index, f64::INFINITY),
+        Some(Fault::CacheError) => {
+            return Outcome::Failed {
+                panic_msg: format!(
+                    "injected cache-layer error at point {index}: memo lookup failed"
+                ),
+            }
+        }
+        Some(Fault::Panic) | None => {}
+    }
+    install_quiet_panic_hook();
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(true));
+    let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        if matches!(fault, Some(Fault::Panic)) {
+            panic!("injected panic at point {index}");
+        }
+        evaluate(engine, point, use_cache)
+    }));
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(false));
+    match caught {
+        Ok(Some(node_point)) => Outcome::Feasible(node_point),
+        Ok(None) => Outcome::Infeasible,
+        Err(payload) => Outcome::Failed { panic_msg: panic_message(payload.as_ref()) },
+    }
+}
+
+/// A poisoned scalar pushed through ingress validation: the typed
+/// `ModelError` it earns is the point's failure diagnostic.
+fn injected_param_fault(index: usize, bad: f64) -> Outcome {
+    let rejection = match ParallelFraction::new(bad) {
+        Err(e) => e.to_string(),
+        Ok(_) => String::from("ingress validation unexpectedly accepted it"),
+    };
+    Outcome::Failed {
+        panic_msg: format!("injected {bad} parameter at point {index}: {rejection}"),
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("non-string panic payload")
+    }
+}
+
+thread_local! {
+    /// Set while a contained evaluation runs on this thread, so the
+    /// process panic hook stays silent for panics we are about to catch.
+    static SUPPRESS_PANIC_OUTPUT: Cell<bool> = const { Cell::new(false) };
+}
+
+static QUIET_HOOK: Once = Once::new();
+
+/// Installs (once) a panic hook that swallows output for panics raised
+/// inside a contained evaluation and delegates everything else to the
+/// previous hook — contained faults are reported through [`Outcome`],
+/// not stderr noise.
+fn install_quiet_panic_hook() {
+    QUIET_HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_OUTPUT.with(|s| s.get()) {
+                previous(info);
+            }
+        }));
+    });
 }
 
 fn evaluate(
@@ -336,6 +618,8 @@ mod tests {
             assert_eq!(r.index, i);
         }
         assert_eq!(stats.points, n);
+        assert_eq!(stats.points_ok + stats.points_infeasible + stats.points_failed, n);
+        assert_eq!(stats.points_failed, 0, "healthy sweeps have no failures");
         assert!(stats.threads >= 1);
     }
 
@@ -354,7 +638,7 @@ mod tests {
     }
 
     #[test]
-    fn infeasible_cells_come_back_as_none() {
+    fn infeasible_cells_come_back_as_infeasible() {
         // The 10 W scenario starves power-hungry symmetric designs at
         // early nodes.
         let e = ProjectionEngine::with_cache(
@@ -365,9 +649,11 @@ mod tests {
         let points =
             figure_points(&e, &[DesignId::SymCmp], WorkloadColumn::Fft1024, &[0.999])
                 .unwrap();
-        let (results, _) = sweep(&e, points, &SweepConfig::default());
+        let (results, stats) = sweep(&e, points, &SweepConfig::default());
+        assert!(stats.points_infeasible > 0, "10 W starves early nodes");
+        assert_eq!(stats.points_failed, 0, "infeasible is not failed");
         // The sequential engine omits infeasible nodes; the sweep marks
-        // them None. Both views must agree.
+        // them Infeasible. Both views must agree.
         let sequential = e
             .project(
                 DesignId::SymCmp,
@@ -375,7 +661,18 @@ mod tests {
                 ParallelFraction::new(0.999).unwrap(),
             )
             .unwrap();
-        let feasible: Vec<_> = results.iter().filter_map(|r| r.outcome).collect();
+        let feasible: Vec<_> =
+            results.iter().filter_map(|r| r.outcome.node_point()).collect();
         assert_eq!(feasible, sequential);
+    }
+
+    #[test]
+    fn panic_message_extracts_both_payload_shapes() {
+        let s: Box<dyn Any + Send> = Box::new("static str payload");
+        assert_eq!(panic_message(s.as_ref()), "static str payload");
+        let owned: Box<dyn Any + Send> = Box::new(String::from("owned payload"));
+        assert_eq!(panic_message(owned.as_ref()), "owned payload");
+        let other: Box<dyn Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(other.as_ref()), "non-string panic payload");
     }
 }

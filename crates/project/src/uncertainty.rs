@@ -141,7 +141,7 @@ pub fn speedup_interval(
             reason: "every Monte-Carlo sample was infeasible".into(),
         });
     }
-    draws.sort_by(|a, b| a.partial_cmp(b).expect("speedups are finite"));
+    draws.sort_by(f64::total_cmp);
     let quantile = |q: f64| {
         let idx = ((draws.len() - 1) as f64 * q).round() as usize;
         draws[idx]

@@ -116,10 +116,10 @@ proptest! {
         prop_assert_eq!(sequential.len(), cold.len());
         for (s, p) in sequential.iter().zip(&cold) {
             prop_assert_eq!(s.index, p.index);
-            prop_assert_eq!(s.outcome, p.outcome);
+            prop_assert_eq!(&s.outcome, &p.outcome);
         }
         for (s, p) in sequential.iter().zip(&warm) {
-            prop_assert_eq!(s.outcome, p.outcome);
+            prop_assert_eq!(&s.outcome, &p.outcome);
         }
         prop_assert_eq!(warm_stats.cache_misses, 0);
     }

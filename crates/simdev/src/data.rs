@@ -257,7 +257,10 @@ fn interp_log(xs: &[f64], ys: &[f64], x: f64) -> f64 {
             return ln.exp();
         }
     }
-    unreachable!("x within range is covered by a segment")
+    // Only reachable for unsorted anchor tables (a data-entry bug, not a
+    // caller input): degrade to the nearest-end clamp rather than
+    // panicking the measurement path.
+    ys[ys.len() - 1]
 }
 
 /// The off-chip peak bandwidth the lab assumes per device, in GB/s

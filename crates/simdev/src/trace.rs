@@ -123,7 +123,8 @@ pub fn synthesize_trace(
     for d in &mut serial {
         *d *= if ssum > 0.0 { (1.0 - f) / ssum } else { 0.0 };
     }
-    // Random interleave.
+    // Random interleave: pop from a randomly chosen non-empty pool until
+    // both drain.
     while !parallel.is_empty() || !serial.is_empty() {
         let take_parallel = if serial.is_empty() {
             true
@@ -133,12 +134,11 @@ pub fn synthesize_trace(
             rng.gen_bool(0.5)
         };
         if take_parallel {
-            out.push(Segment {
-                duration: parallel.pop().expect("non-empty"),
-                width: parallel_width.max(2),
-            });
-        } else {
-            out.push(Segment { duration: serial.pop().expect("non-empty"), width: 1 });
+            if let Some(duration) = parallel.pop() {
+                out.push(Segment { duration, width: parallel_width.max(2) });
+            }
+        } else if let Some(duration) = serial.pop() {
+            out.push(Segment { duration, width: 1 });
         }
     }
     Trace::new(out)

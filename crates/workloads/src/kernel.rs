@@ -25,6 +25,24 @@ pub enum WorkloadError {
         /// What was provided.
         actual: usize,
     },
+    /// An element index outside a matrix or buffer.
+    IndexOutOfBounds {
+        /// The rejected row (or flat) index.
+        row: usize,
+        /// The rejected column index (0 for flat buffers).
+        col: usize,
+        /// Rows (or length) of the indexed object.
+        rows: usize,
+        /// Columns of the indexed object (1 for flat buffers).
+        cols: usize,
+    },
+    /// Two operands whose shapes must agree did not.
+    ShapeMismatch {
+        /// Shape of the left operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        right: (usize, usize),
+    },
 }
 
 impl fmt::Display for WorkloadError {
@@ -36,6 +54,16 @@ impl fmt::Display for WorkloadError {
             WorkloadError::ZeroSize { what } => write!(f, "{what} must be non-zero"),
             WorkloadError::LengthMismatch { expected, actual } => {
                 write!(f, "buffer length {actual} does not match expected {expected}")
+            }
+            WorkloadError::IndexOutOfBounds { row, col, rows, cols } => {
+                write!(f, "index ({row}, {col}) is outside a {rows}x{cols} matrix")
+            }
+            WorkloadError::ShapeMismatch { left, right } => {
+                write!(
+                    f,
+                    "shape {}x{} does not match shape {}x{}",
+                    left.0, left.1, right.0, right.1
+                )
             }
         }
     }

@@ -40,23 +40,55 @@ impl Matrix {
     ///
     /// # Panics
     ///
-    /// Panics if either dimension is zero.
+    /// Panics if either dimension is zero. Use [`Matrix::try_zeros`] at
+    /// boundaries where the shape is untrusted input.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
         Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// A zero matrix of the given shape, rejecting empty shapes as a
+    /// typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::ZeroSize`] if either dimension is zero.
+    pub fn try_zeros(rows: usize, cols: usize) -> Result<Self, WorkloadError> {
+        if rows == 0 {
+            return Err(WorkloadError::ZeroSize { what: "rows" });
+        }
+        if cols == 0 {
+            return Err(WorkloadError::ZeroSize { what: "cols" });
+        }
+        Ok(Matrix { rows, cols, data: vec![0.0; rows * cols] })
     }
 
     /// The identity matrix of order `n`.
     ///
     /// # Panics
     ///
-    /// Panics if `n` is zero.
+    /// Panics if `n` is zero. Use [`Matrix::try_identity`] for untrusted
+    /// orders.
     pub fn identity(n: usize) -> Self {
         let mut m = Matrix::zeros(n, n);
         for i in 0..n {
             m.set(i, i, 1.0);
         }
         m
+    }
+
+    /// The identity matrix of order `n`, rejecting `n == 0` as a typed
+    /// error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::ZeroSize`] if `n` is zero.
+    pub fn try_identity(n: usize) -> Result<Self, WorkloadError> {
+        let mut m = Matrix::try_zeros(n, n)?;
+        for i in 0..n {
+            m.try_set(i, i, 1.0)?;
+        }
+        Ok(m)
     }
 
     /// Builds a matrix from a row-major slice.
@@ -89,20 +121,64 @@ impl Matrix {
     ///
     /// # Panics
     ///
-    /// Panics if out of bounds.
+    /// Panics if out of bounds. Use [`Matrix::try_get`] for untrusted
+    /// indices.
     pub fn get(&self, row: usize, col: usize) -> f32 {
         assert!(row < self.rows && col < self.cols, "index out of bounds");
         self.data[row * self.cols + col]
+    }
+
+    /// Element at `(row, col)`, reporting out-of-bounds as a typed
+    /// error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::IndexOutOfBounds`] if either index is
+    /// outside the matrix.
+    pub fn try_get(&self, row: usize, col: usize) -> Result<f32, WorkloadError> {
+        self.check_index(row, col)?;
+        Ok(self.data[row * self.cols + col])
     }
 
     /// Sets the element at `(row, col)`.
     ///
     /// # Panics
     ///
-    /// Panics if out of bounds.
+    /// Panics if out of bounds. Use [`Matrix::try_set`] for untrusted
+    /// indices.
     pub fn set(&mut self, row: usize, col: usize, value: f32) {
         assert!(row < self.rows && col < self.cols, "index out of bounds");
         self.data[row * self.cols + col] = value;
+    }
+
+    /// Sets the element at `(row, col)`, reporting out-of-bounds as a
+    /// typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::IndexOutOfBounds`] if either index is
+    /// outside the matrix.
+    pub fn try_set(
+        &mut self,
+        row: usize,
+        col: usize,
+        value: f32,
+    ) -> Result<(), WorkloadError> {
+        self.check_index(row, col)?;
+        self.data[row * self.cols + col] = value;
+        Ok(())
+    }
+
+    fn check_index(&self, row: usize, col: usize) -> Result<(), WorkloadError> {
+        if row >= self.rows || col >= self.cols {
+            return Err(WorkloadError::IndexOutOfBounds {
+                row,
+                col,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        Ok(())
     }
 
     /// The backing row-major storage.
@@ -124,7 +200,8 @@ impl Matrix {
     ///
     /// # Panics
     ///
-    /// Panics if the shapes differ.
+    /// Panics if the shapes differ. Use [`Matrix::try_max_abs_diff`]
+    /// when the shapes are not known to agree.
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
         assert_eq!(self.rows, other.rows, "row mismatch");
         assert_eq!(self.cols, other.cols, "col mismatch");
@@ -133,6 +210,23 @@ impl Matrix {
             .zip(&other.data)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f32::max)
+    }
+
+    /// The largest absolute element-wise difference to another matrix,
+    /// reporting a shape disagreement as a typed error instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::ShapeMismatch`] if the shapes differ.
+    pub fn try_max_abs_diff(&self, other: &Matrix) -> Result<f32, WorkloadError> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(WorkloadError::ShapeMismatch {
+                left: (self.rows, self.cols),
+                right: (other.rows, other.cols),
+            });
+        }
+        Ok(self.max_abs_diff(other))
     }
 }
 
@@ -155,6 +249,48 @@ pub fn flops(m: usize, k: usize, n: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_constructors_reject_empty_shapes_with_typed_errors() {
+        assert_eq!(
+            Matrix::try_zeros(0, 3).unwrap_err(),
+            WorkloadError::ZeroSize { what: "rows" }
+        );
+        assert_eq!(
+            Matrix::try_zeros(3, 0).unwrap_err(),
+            WorkloadError::ZeroSize { what: "cols" }
+        );
+        assert_eq!(
+            Matrix::try_identity(0).unwrap_err(),
+            WorkloadError::ZeroSize { what: "rows" }
+        );
+        assert_eq!(Matrix::try_identity(3).unwrap(), Matrix::identity(3));
+        assert_eq!(Matrix::try_zeros(2, 3).unwrap(), Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn try_accessors_reject_out_of_bounds_with_typed_errors() {
+        let mut m = Matrix::zeros(2, 3);
+        assert!(m.try_set(1, 2, 5.0).is_ok());
+        assert_eq!(m.try_get(1, 2).unwrap(), 5.0);
+        let err = m.try_get(2, 0).unwrap_err();
+        assert_eq!(
+            err,
+            WorkloadError::IndexOutOfBounds { row: 2, col: 0, rows: 2, cols: 3 }
+        );
+        assert!(m.try_set(0, 3, 1.0).is_err());
+    }
+
+    #[test]
+    fn try_max_abs_diff_rejects_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 2);
+        assert_eq!(
+            a.try_max_abs_diff(&b).unwrap_err(),
+            WorkloadError::ShapeMismatch { left: (2, 3), right: (3, 2) }
+        );
+        assert_eq!(a.try_max_abs_diff(&a).unwrap(), 0.0);
+    }
 
     #[test]
     fn zeros_and_identity() {

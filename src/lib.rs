@@ -21,6 +21,9 @@
 //!   alternative scenarios).
 //! * [`report`] — ASCII tables/charts and CSV export used by the
 //!   reproduction binaries.
+//! * [`error`] — the workspace-wide error taxonomy: [`UcoreError`]
+//!   unifies every subsystem's typed error behind one `?`-composable
+//!   type.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +44,10 @@
 //! # Ok(())
 //! # }
 //! ```
+
+pub mod error;
+
+pub use error::UcoreError;
 
 pub use ucore_calibrate as calibrate;
 pub use ucore_core as model;

@@ -137,6 +137,81 @@ fn monte_carlo_with_impossible_inputs_fails_loudly() {
 }
 
 #[test]
+fn sweep_contains_injected_panics_behind_the_facade() {
+    // The whole fault-containment stack is reachable through the `ucore`
+    // facade: inject a panic at one design point, and the sweep still
+    // returns a full result set with exactly that point degraded.
+    use std::sync::Arc;
+    use ucore::model::EvalCache;
+    use ucore::project::faultinject::{activate, Fault, FaultPlan};
+    use ucore::project::sweep::{figure_points, sweep, SweepConfig};
+    use ucore::project::{DesignId, ProjectionEngine, Scenario};
+
+    let engine =
+        ProjectionEngine::with_cache(Scenario::baseline(), Arc::new(EvalCache::new()))
+            .unwrap();
+    let column = ucore::calibrate::WorkloadColumn::Fft1024;
+    let designs = DesignId::for_column(engine.table5(), column);
+    let points = figure_points(&engine, &designs, column, &[0.9]).unwrap();
+    let n = points.len();
+
+    let guard = activate(FaultPlan::new().with(2, Fault::Panic));
+    let (results, stats) =
+        sweep(&engine, points, &SweepConfig { threads: Some(3), use_cache: false });
+    drop(guard);
+
+    assert_eq!(results.len(), n, "a contained fault never truncates the sweep");
+    assert_eq!(stats.points_failed, 1);
+    assert_eq!(stats.points_ok + stats.points_infeasible, n - 1);
+    for r in &results {
+        if r.index == 2 {
+            let msg = r.outcome.failure_message().unwrap();
+            assert!(msg.contains("injected panic at point 2"), "{msg}");
+        } else {
+            assert!(r.outcome.failure_message().is_none(), "index {}", r.index);
+        }
+    }
+}
+
+#[test]
+fn ucore_error_composes_every_subsystem_behind_one_question_mark() {
+    use ucore::project::faultinject::FaultPlan;
+    use ucore::UcoreError;
+    use ucore_devices::Catalog;
+    use ucore_itrs::Roadmap;
+
+    // Each subsystem's typed error converts into the workspace taxonomy
+    // via `?`, keeping its subsystem prefix in the display.
+    let cases: Vec<(UcoreError, &str)> = vec![
+        (UCore::new(f64::NAN, 1.0).unwrap_err().into(), "model:"),
+        (
+            Catalog::from_specs(Vec::new())
+                .unwrap()
+                .try_device(DeviceId::R5870)
+                .map(|_| ())
+                .unwrap_err()
+                .into(),
+            "device:",
+        ),
+        (Roadmap::from_nodes(vec![]).unwrap_err().into(), "roadmap:"),
+        (Workload::fft(7).unwrap_err().into(), "workload:"),
+        (
+            SimLab::paper()
+                .measure(DeviceId::R5870, Workload::black_scholes())
+                .unwrap_err()
+                .into(),
+            "simlab:",
+        ),
+        (FaultPlan::parse("bogus@@").unwrap_err().into(), "fault spec:"),
+    ];
+    for (err, prefix) in cases {
+        let msg = err.to_string();
+        assert!(msg.starts_with(prefix), "{msg:?} should start with {prefix:?}");
+        assert!(std::error::Error::source(&err).is_some(), "{msg} chains its source");
+    }
+}
+
+#[test]
 fn display_of_every_error_is_informative() {
     let errors: Vec<Box<dyn std::error::Error>> = vec![
         Box::new(UCore::new(-1.0, 1.0).unwrap_err()),
