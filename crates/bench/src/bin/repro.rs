@@ -8,6 +8,10 @@
 //! repro --json figure-6        # machine-readable figure data
 //! repro --stats --figure 6     # + sweep/cache counters on stderr
 //! repro --max-failures 1 ...   # tolerate one contained sweep failure
+//! repro --json figure-6 --out fig6.json   # crash-safe artifact write
+//! repro --journal run.jsonl --json figure-6   # durable run
+//! repro --journal run.jsonl --resume --json figure-6   # resume it
+//! repro --timeout-ms 500 --retries 2 ...   # watchdog + retry policy
 //! ```
 //!
 //! `--stats` composes with any other flag. The counters go to stderr so
@@ -20,16 +24,33 @@
 //! allows (default 0 — goldens stay strict), it prints a structured
 //! diagnostic to stderr and exits nonzero even though output was
 //! rendered.
+//!
+//! Runs are *durable* on request: `--journal PATH` streams every
+//! completed sweep point to an append-only, checksummed journal, and
+//! `--resume` replays that journal so a killed run re-evaluates only
+//! the missing points — the resumed output is byte-identical to an
+//! uninterrupted run. `--out PATH` writes the rendered output through
+//! an atomic temp-file+fsync+rename, so an artifact on disk is never
+//! half-written.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 use ucore_bench::{figures, scenarios, tables};
+use ucore_project::durability::{self, DurabilityConfig, DurabilityGuard};
 
 fn usage() -> &'static str {
-    "usage: repro [--stats] [--max-failures N] [--all | --experiments | --table N | --figure N | --scenario N | --json figure-N | --csv figure-N]\n\
+    "usage: repro [--stats] [--max-failures N] [--journal PATH] [--resume] \
+     [--timeout-ms N] [--retries N] [--out PATH] \
+     [--all | --experiments | --table N | --figure N | --scenario N | --json figure-N | --csv figure-N]\n\
      tables: 1-6; figures: 2-10; scenarios: 1-6; json/csv: figures 6-10\n\
-     --stats: print evaluation/cache/sweep counters to stderr\n\
-     --max-failures N: exit nonzero if more than N sweep points fail (default 0)"
+     --stats: print evaluation/cache/sweep/durability counters to stderr\n\
+     --max-failures N: exit nonzero if more than N sweep points fail (default 0)\n\
+     --journal PATH: stream completed sweep points to an append-only checksummed journal\n\
+     --resume: replay the journal first; only missing points are re-evaluated (requires --journal)\n\
+     --timeout-ms N: per-point watchdog deadline; stuck points become Failed{timeout}\n\
+     --retries N: retry failed points up to N times with deterministic backoff (default 0)\n\
+     --out PATH: write stdout output to PATH via atomic temp+fsync+rename"
 }
 
 /// Every flag the driver understands, for the "did you mean" hint.
@@ -39,11 +60,16 @@ const KNOWN_FLAGS: &[&str] = &[
     "--experiments",
     "--figure",
     "--help",
+    "--journal",
     "--json",
     "--max-failures",
+    "--out",
+    "--resume",
+    "--retries",
     "--scenario",
     "--stats",
     "--table",
+    "--timeout-ms",
 ];
 
 /// Edit distance between two flags, for near-miss suggestions.
@@ -88,12 +114,22 @@ enum Command {
 struct Cli {
     stats: bool,
     max_failures: u64,
+    journal: Option<PathBuf>,
+    resume: bool,
+    timeout_ms: Option<u64>,
+    retries: u32,
+    out: Option<PathBuf>,
     command: Command,
 }
 
 fn parse(args: Vec<String>) -> Result<Cli, String> {
     let mut stats = false;
     let mut max_failures: u64 = 0;
+    let mut journal: Option<PathBuf> = None;
+    let mut resume = false;
+    let mut timeout_ms: Option<u64> = None;
+    let mut retries: u32 = 0;
+    let mut out: Option<PathBuf> = None;
     let mut command: Option<Command> = None;
     let set = |slot: &mut Option<Command>, c: Command| -> Result<(), String> {
         if slot.is_some() {
@@ -109,6 +145,7 @@ fn parse(args: Vec<String>) -> Result<Cli, String> {
         };
         match arg.as_str() {
             "--stats" => stats = true,
+            "--resume" => resume = true,
             "--help" | "-h" => set(&mut command, Command::Help)?,
             "--all" => set(&mut command, Command::All)?,
             "--experiments" => set(&mut command, Command::Experiments)?,
@@ -117,6 +154,31 @@ fn parse(args: Vec<String>) -> Result<Cli, String> {
                 max_failures = v.parse().map_err(|_| {
                     format!(
                         "--max-failures value {v:?} is not a non-negative integer\n{}",
+                        usage()
+                    )
+                })?;
+            }
+            "--journal" => {
+                journal = Some(PathBuf::from(value_for("--journal")?));
+            }
+            "--out" => {
+                out = Some(PathBuf::from(value_for("--out")?));
+            }
+            "--timeout-ms" => {
+                let v = value_for("--timeout-ms")?;
+                let ms: u64 = v.parse().ok().filter(|&ms| ms > 0).ok_or_else(|| {
+                    format!(
+                        "--timeout-ms value {v:?} is not a positive integer\n{}",
+                        usage()
+                    )
+                })?;
+                timeout_ms = Some(ms);
+            }
+            "--retries" => {
+                let v = value_for("--retries")?;
+                retries = v.parse().map_err(|_| {
+                    format!(
+                        "--retries value {v:?} is not a non-negative integer\n{}",
                         usage()
                     )
                 })?;
@@ -150,11 +212,59 @@ fn parse(args: Vec<String>) -> Result<Cli, String> {
             }
         }
     }
+    if resume && journal.is_none() {
+        return Err(format!("--resume requires --journal PATH\n{}", usage()));
+    }
     Ok(Cli {
         stats,
         max_failures,
+        journal,
+        resume,
+        timeout_ms,
+        retries,
+        out,
         command: command.unwrap_or(Command::All),
     })
+}
+
+/// Activates the durability layer when any of its flags were given.
+/// Returns the guard keeping it active (`None` when the run is not
+/// durable), after reporting what a resume replayed.
+fn activate_durability(cli: &Cli) -> Result<Option<DurabilityGuard>, String> {
+    let wanted =
+        cli.journal.is_some() || cli.resume || cli.timeout_ms.is_some() || cli.retries > 0;
+    if !wanted {
+        return Ok(None);
+    }
+    let config = DurabilityConfig {
+        journal: cli.journal.clone(),
+        resume: cli.resume,
+        timeout: cli.timeout_ms.map(Duration::from_millis),
+        retries: cli.retries,
+    };
+    let (guard, report) = durability::activate(config).map_err(|e| e.to_string())?;
+    if cli.resume {
+        let path = cli.journal.as_deref().unwrap_or_else(|| std::path::Path::new("?"));
+        eprintln!(
+            "resume: replayed {} journaled outcome(s) from {}",
+            report.records,
+            path.display()
+        );
+        if report.torn_tail {
+            eprintln!(
+                "warning: journal {} ended in a torn (partially written) record; \
+                 it was skipped and that point will be re-evaluated",
+                path.display()
+            );
+        }
+        if report.duplicates > 0 {
+            eprintln!(
+                "note: journal contained {} superseded record(s) (kept the latest)",
+                report.duplicates
+            );
+        }
+    }
+    Ok(Some(guard))
 }
 
 fn projection(which: &str) -> Result<ucore_project::FigureData, Box<dyn std::error::Error>> {
@@ -171,11 +281,13 @@ fn projection(which: &str) -> Result<ucore_project::FigureData, Box<dyn std::err
 fn print_stats(total: Duration) {
     let cache = ucore_core::EvalCache::global().stats();
     let totals = ucore_project::outcome_totals();
+    let durability = ucore_project::durability_totals();
+    let dropped = ucore_project::failures_dropped();
     eprintln!("--- repro --stats ---");
     for (i, s) in ucore_project::sweep::drain_phase_log().iter().enumerate() {
         eprintln!(
             "sweep phase {i}: {} points ({} ok, {} infeasible, {} failed) on {} threads, \
-             {} cache hits, {} misses, {:.3} ms",
+             {} cache hits, {} misses, {} journal hits, {} retries, {:.3} ms",
             s.points,
             s.points_ok,
             s.points_infeasible,
@@ -183,6 +295,8 @@ fn print_stats(total: Duration) {
             s.threads,
             s.cache_hits,
             s.cache_misses,
+            s.journal_hits,
+            s.retries,
             s.wall.as_secs_f64() * 1e3,
         );
     }
@@ -197,6 +311,16 @@ fn print_stats(total: Duration) {
         cache.misses,
         cache.entries,
         cache.hit_rate() * 100.0,
+    );
+    eprintln!(
+        "durability: {} journal hits, {} stale journal records, {} retries",
+        durability.journal_hits, durability.journal_stale, durability.retries,
+    );
+    eprintln!(
+        "failure log: {} retained (cap {}), {} dropped",
+        ucore_project::failure_diagnostics().len(),
+        ucore_project::MAX_RETAINED_FAILURES,
+        dropped,
     );
     eprintln!("total wall time: {:.3} ms", total.as_secs_f64() * 1e3);
 }
@@ -213,57 +337,81 @@ fn print_failure_diagnostic(max_failures: u64) {
     for d in ucore_project::failure_diagnostics() {
         eprintln!("  failure at point {}: {}", d.index, d.panic_msg);
     }
+    let dropped = ucore_project::failures_dropped();
+    if dropped > 0 {
+        eprintln!(
+            "  ({dropped} further failure(s) beyond the {}-entry log were dropped)",
+            ucore_project::MAX_RETAINED_FAILURES
+        );
+    }
 }
 
-fn run(command: &Command) -> Result<(), Box<dyn std::error::Error>> {
+/// Renders the requested command to the exact bytes that would go to
+/// stdout — so `--out` can write the identical artifact atomically.
+fn render(command: &Command) -> Result<String, Box<dyn std::error::Error>> {
+    // `All`/`Experiments` renderers end with their own newline; every
+    // other command historically went through `println!`, so a trailing
+    // newline is appended to match byte-for-byte.
     let out = match command {
-        Command::Help => {
-            println!("{}", usage());
-            return Ok(());
+        Command::Help => format!("{}\n", usage()),
+        Command::All => ucore_bench::render_all()?,
+        Command::Experiments => ucore_bench::experiments::render()?,
+        Command::Table(n) => {
+            let body = match n.as_str() {
+                "1" => tables::table1(),
+                "2" => tables::table2(),
+                "3" => tables::table3(),
+                "4" => tables::table4(),
+                "5" => tables::table5()?,
+                "6" => tables::table6(),
+                other => {
+                    return Err(format!("table {other} is not one of 1-6\n{}", usage()).into())
+                }
+            };
+            format!("{body}\n")
         }
-        Command::All => {
-            print!("{}", ucore_bench::render_all()?);
-            return Ok(());
+        Command::Figure(n) => {
+            let body = match n.as_str() {
+                "2" => figures::figure2(),
+                "3" => figures::figure3(),
+                "4" => figures::figure4(),
+                "5" => figures::figure5(),
+                "6" => figures::figure6()?,
+                "7" => figures::figure7()?,
+                "8" => figures::figure8()?,
+                "9" => figures::figure9()?,
+                "10" => figures::figure10()?,
+                other => {
+                    return Err(
+                        format!("figure {other} is not one of 2-10\n{}", usage()).into()
+                    )
+                }
+            };
+            format!("{body}\n")
         }
-        Command::Experiments => {
-            print!("{}", ucore_bench::experiments::render()?);
-            return Ok(());
-        }
-        Command::Table(n) => match n.as_str() {
-            "1" => tables::table1(),
-            "2" => tables::table2(),
-            "3" => tables::table3(),
-            "4" => tables::table4(),
-            "5" => tables::table5()?,
-            "6" => tables::table6(),
-            other => {
-                return Err(format!("table {other} is not one of 1-6\n{}", usage()).into())
-            }
-        },
-        Command::Figure(n) => match n.as_str() {
-            "2" => figures::figure2(),
-            "3" => figures::figure3(),
-            "4" => figures::figure4(),
-            "5" => figures::figure5(),
-            "6" => figures::figure6()?,
-            "7" => figures::figure7()?,
-            "8" => figures::figure8()?,
-            "9" => figures::figure9()?,
-            "10" => figures::figure10()?,
-            other => {
-                return Err(format!("figure {other} is not one of 2-10\n{}", usage()).into())
-            }
-        },
         Command::Scenario(n) => {
             let n: u8 = n
                 .parse()
                 .map_err(|_| format!("scenario {n:?} is not one of 1-6\n{}", usage()))?;
-            scenarios::scenario(n)?
+            format!("{}\n", scenarios::scenario(n)?)
         }
-        Command::Json(which) => serde_json::to_string_pretty(&projection(which)?)?,
-        Command::Csv(which) => figures::figure_csv(&projection(which)?),
+        Command::Json(which) => {
+            format!("{}\n", serde_json::to_string_pretty(&projection(which)?)?)
+        }
+        Command::Csv(which) => format!("{}\n", figures::figure_csv(&projection(which)?)),
     };
-    println!("{out}");
+    Ok(out)
+}
+
+fn run(command: &Command, out: Option<&std::path::Path>) -> Result<(), Box<dyn std::error::Error>> {
+    let rendered = render(command)?;
+    match out {
+        Some(path) => {
+            ucore_project::atomic_write(path, rendered.as_bytes())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        }
+        None => print!("{rendered}"),
+    }
     Ok(())
 }
 
@@ -276,8 +424,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Keep the journal alive (and fsync'd) for the whole render.
+    let _durability_guard = match activate_durability(&cli) {
+        Ok(guard) => guard,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let start = Instant::now();
-    let outcome = run(&cli.command);
+    let outcome = run(&cli.command, cli.out.as_deref());
     if cli.stats {
         print_stats(start.elapsed());
     }

@@ -200,6 +200,11 @@ fn bad_arguments_fail_with_usage() {
         vec!["--json", "figure-2"],
         vec!["--nonsense"],
         vec!["--table"],
+        vec!["--timeout-ms", "0"],
+        vec!["--timeout-ms", "soon"],
+        vec!["--retries", "-1"],
+        vec!["--journal"],
+        vec!["--out"],
     ] {
         let out = repro(&args);
         assert!(!out.status.success(), "{args:?} should fail");
@@ -211,4 +216,182 @@ fn bad_arguments_fail_with_usage() {
             "{args:?}: {err}"
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// Durability: journals, resume, watchdog, retries, atomic artifacts
+// ---------------------------------------------------------------------
+
+/// A scratch path under the system temp dir, removed before use.
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "ucore-cli-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn resume_without_journal_is_a_clean_usage_error() {
+    let out = repro(&["--resume", "--json", "figure-6"]);
+    assert_eq!(out.status.code(), Some(1), "usage error, not a crash");
+    assert!(out.stdout.is_empty(), "nothing rendered");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--resume requires --journal"), "{err}");
+    assert!(err.contains("usage"), "{err}");
+}
+
+#[test]
+fn resume_from_a_missing_journal_is_a_clean_error() {
+    let path = scratch("missing.jsonl");
+    let out = repro(&["--journal", path.to_str().unwrap(), "--resume", "--figure", "6"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("does not exist"), "{err}");
+}
+
+/// The end-to-end kill-and-resume contract: a run aborted by `kill@i`
+/// leaves a journal; resuming it (without the fault) replays the
+/// completed points and produces stdout byte-identical to a run that
+/// was never interrupted.
+#[test]
+fn killed_run_resumes_to_byte_identical_output() {
+    let baseline = repro(&["--json", "figure-6"]);
+    assert!(baseline.status.success());
+
+    let journal = scratch("kill.jsonl");
+    let journal = journal.to_str().unwrap();
+    let dead = repro_with_fault(&["--journal", journal, "--json", "figure-6"], "kill@40");
+    assert!(!dead.status.success(), "kill@40 aborts the process");
+    assert!(dead.stdout.is_empty(), "the aborted run rendered nothing");
+    let journaled = std::fs::read_to_string(journal).unwrap();
+    let records = journaled.lines().count();
+    assert!(records > 0, "completed points were journaled before the abort");
+    assert!(records < 120, "the run died before finishing");
+
+    // Resume — at several thread counts — must reproduce the baseline
+    // exactly and re-evaluate only the missing points. Each iteration
+    // resumes from its own copy of the truncated journal: resuming
+    // completes the journal in place, so reusing it would replay all
+    // 120 points on the second pass.
+    for threads in ["1", "2", "4", "8"] {
+        let copy = scratch(&format!("kill-t{threads}.jsonl"));
+        std::fs::copy(journal, &copy).unwrap();
+        let resumed = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(["--journal", copy.to_str().unwrap(), "--resume"])
+            .args(["--stats", "--json", "figure-6"])
+            .env("UCORE_SWEEP_THREADS", threads)
+            .output()
+            .expect("repro binary runs");
+        let _ = std::fs::remove_file(&copy);
+        assert!(resumed.status.success(), "threads = {threads}");
+        assert_eq!(
+            resumed.stdout, baseline.stdout,
+            "resumed output must be byte-identical (threads = {threads})"
+        );
+        let err = String::from_utf8(resumed.stderr).unwrap();
+        assert!(err.contains(&format!("resume: replayed {records} journaled")), "{err}");
+        assert!(
+            err.contains(&format!("durability: {records} journal hits")),
+            "only missing points re-evaluate (threads = {threads}): {err}"
+        );
+    }
+    let _ = std::fs::remove_file(journal);
+}
+
+#[test]
+fn out_flag_writes_the_exact_stdout_bytes_atomically() {
+    let baseline = repro(&["--json", "figure-7"]);
+    assert!(baseline.status.success());
+
+    let artifact = scratch("fig7.json");
+    let out = repro(&["--json", "figure-7", "--out", artifact.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(out.stdout.is_empty(), "--out redirects stdout to the file");
+    assert_eq!(
+        std::fs::read(&artifact).unwrap(),
+        baseline.stdout,
+        "artifact bytes match stdout bytes exactly"
+    );
+    // And overwriting is atomic-replace, not append.
+    let again = repro(&["--json", "figure-7", "--out", artifact.to_str().unwrap()]);
+    assert!(again.status.success());
+    assert_eq!(std::fs::read(&artifact).unwrap(), baseline.stdout);
+    let _ = std::fs::remove_file(&artifact);
+}
+
+#[test]
+fn stalled_point_is_released_by_the_watchdog_within_budget() {
+    let start = std::time::Instant::now();
+    let out = repro_with_fault(
+        &["--timeout-ms", "200", "--max-failures", "1", "--stats", "--figure", "6"],
+        "stall@3",
+    );
+    let elapsed = start.elapsed();
+    assert!(out.status.success(), "one timeout within --max-failures 1");
+    assert!(
+        elapsed < std::time::Duration::from_secs(20),
+        "the stall must not hang the run ({elapsed:?})"
+    );
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("1 failed"), "the stalled point failed: {err}");
+}
+
+#[test]
+fn stalled_point_breaches_default_tolerance_with_timeout_diagnostic() {
+    let out = repro_with_fault(
+        &["--timeout-ms", "150", "--figure", "6"],
+        "stall@3",
+    );
+    assert_eq!(out.status.code(), Some(2), "a timed-out point is a failure");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("watchdog timeout: point 3 exceeded its 150 ms deadline"),
+        "{err}"
+    );
+}
+
+#[test]
+fn transient_fault_is_recovered_by_retries() {
+    // Without retries the transient fault breaches the default
+    // tolerance...
+    let out = repro_with_fault(&["--figure", "6"], "panic@3x1");
+    assert_eq!(out.status.code(), Some(2));
+    // ...with --retries 2 the second attempt succeeds and the run is
+    // clean, its output identical to an unfaulted run.
+    let baseline = repro(&["--json", "figure-6"]);
+    let recovered = repro_with_fault(
+        &["--retries", "2", "--stats", "--json", "figure-6"],
+        "panic@3x1",
+    );
+    assert!(recovered.status.success(), "retry recovered the point");
+    // The recovered figure data is identical; the health block honestly
+    // reports the one retry it took, so normalize that field before
+    // comparing.
+    let recovered_json = String::from_utf8(recovered.stdout).unwrap();
+    let baseline_json = String::from_utf8(baseline.stdout).unwrap();
+    assert!(recovered_json.contains("\"retries\": 1"), "{recovered_json}");
+    assert_eq!(
+        recovered_json.replace("\"retries\": 1", "\"retries\": 0"),
+        baseline_json,
+        "recovered output is identical up to the retry count"
+    );
+    let err = String::from_utf8(recovered.stderr).unwrap();
+    assert!(err.contains("1 retries"), "retry accounting in --stats: {err}");
+}
+
+#[test]
+fn stats_surface_dropped_failures_beyond_the_log_cap() {
+    // 70 injected panics overflow the 64-entry failure log; the
+    // overflow must be visible, not silent.
+    let spec: Vec<String> = (0..70).map(|i| format!("panic@{i}")).collect();
+    let out = repro_with_fault(
+        &["--max-failures", "100", "--stats", "--figure", "6"],
+        &spec.join(","),
+    );
+    assert!(out.status.success(), "70 failures within --max-failures 100");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("70 failed"), "{err}");
+    assert!(err.contains("failure log: 64 retained (cap 64), 6 dropped"), "{err}");
 }

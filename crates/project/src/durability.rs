@@ -1,0 +1,439 @@
+//! The durable-run orchestrator: journaling, resume, watchdog
+//! deadlines, and retry policy for sweeps.
+//!
+//! [`activate`] installs a process-wide [`DurabilityConfig`] (mirroring
+//! the [`faultinject`](crate::faultinject) guard pattern) that every
+//! subsequent [`sweep`](crate::sweep::sweep) consults:
+//!
+//! * **Journal** — each completed point is appended to the configured
+//!   [`journal`](crate::journal) file, so a killed run can be resumed.
+//! * **Resume** — the journal of a previous (interrupted) run is
+//!   replayed up front; points whose `(sweep, index, fingerprint)`
+//!   matches a journaled record are *not* re-evaluated, and the figure
+//!   output is byte-identical to an uninterrupted run because replayed
+//!   outcomes carry their exact bit patterns and retry counts.
+//! * **Watchdog** — a per-point deadline. The evaluation path calls
+//!   [`watchdog_checkpoint`] cooperatively; a point past its budget is
+//!   converted to a contained `Failed` outcome with a deterministic
+//!   timeout message instead of hanging the figure. The parallel worker
+//!   loop additionally runs a stall *detector* that warns on stderr
+//!   about points overstaying their deadline (observability only — it
+//!   never alters results).
+//! * **Retry** — failed points are retried up to a bounded number of
+//!   attempts with exponential backoff and *deterministic* jitter
+//!   ([`backoff_delay`], keyed on submission index and attempt, no
+//!   RNG), so retry behavior is identical at any thread count.
+//!
+//! All of this is off by default: with no active configuration a sweep
+//! behaves exactly as before this module existed.
+
+use crate::journal::{
+    self, JournalError, JournalRecord, JournalWriter, ReplayLookup, ReplayMap, ReplayReport,
+};
+use std::cell::Cell;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::time::{Duration, Instant};
+
+/// How a run should be made durable. The default is fully inert.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Journal file to stream completed points to (`--journal PATH`).
+    pub journal: Option<PathBuf>,
+    /// Replay the journal before running, re-evaluating only missing
+    /// points (`--resume`; requires `journal`).
+    pub resume: bool,
+    /// Per-point watchdog deadline (`--timeout-ms`).
+    pub timeout: Option<Duration>,
+    /// Retry attempts for failed points (`--retries N`; 0 = no
+    /// retries).
+    pub retries: u32,
+}
+
+/// Errors raised while activating a durability configuration.
+#[derive(Debug)]
+pub enum DurabilityError {
+    /// `resume` was requested without a journal path.
+    ResumeWithoutJournal,
+    /// `resume` was requested but the journal file does not exist.
+    JournalMissing(PathBuf),
+    /// The journal could not be opened, read, or replayed.
+    Journal(JournalError),
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::ResumeWithoutJournal => {
+                write!(f, "--resume requires --journal PATH (there is no journal to replay)")
+            }
+            DurabilityError::JournalMissing(path) => {
+                write!(f, "cannot resume: journal {} does not exist", path.display())
+            }
+            DurabilityError::Journal(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurabilityError::Journal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<JournalError> for DurabilityError {
+    fn from(e: JournalError) -> Self {
+        DurabilityError::Journal(e)
+    }
+}
+
+/// The live durability state sweeps consult.
+#[derive(Debug)]
+pub(crate) struct DurabilityContext {
+    writer: Option<Mutex<JournalWriter>>,
+    /// Set after the first journal write failure: journaling degrades
+    /// to a one-time warning, never a run abort (the run's *results*
+    /// are unaffected; only resumability is lost).
+    journal_broken: AtomicBool,
+    replay: ReplayMap,
+    timeout: Option<Duration>,
+    retries: u32,
+    sweep_seq: AtomicU64,
+}
+
+impl DurabilityContext {
+    /// Claims the next sweep sequence number. Sweeps run in a
+    /// deterministic order for a given command line, so sequence
+    /// numbers line up between an interrupted run and its resume.
+    pub(crate) fn next_sweep_seq(&self) -> u64 {
+        self.sweep_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn timeout(&self) -> Option<Duration> {
+        self.timeout
+    }
+
+    pub(crate) fn retries(&self) -> u32 {
+        self.retries
+    }
+
+    pub(crate) fn lookup(
+        &self,
+        sweep_seq: u64,
+        index: usize,
+        fingerprint: u64,
+    ) -> ReplayLookup<'_> {
+        self.replay.lookup(sweep_seq, index, fingerprint)
+    }
+
+    /// Whether appends currently reach the journal.
+    pub(crate) fn journaling(&self) -> bool {
+        self.writer.is_some() && !self.journal_broken.load(Ordering::Relaxed)
+    }
+
+    /// Appends one completed point. Write failures disable journaling
+    /// for the rest of the run with a single stderr warning.
+    pub(crate) fn append(&self, record: &JournalRecord) {
+        if self.journal_broken.load(Ordering::Relaxed) {
+            return;
+        }
+        let Some(writer) = &self.writer else { return };
+        let mut writer = writer.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Err(e) = writer.append(record) {
+            self.journal_broken.store(true, Ordering::Relaxed);
+            eprintln!(
+                "warning: run journal {} disabled after write failure: {e}",
+                writer.path().display()
+            );
+        }
+    }
+
+    /// Fsyncs the journal (end of a sweep, or right before a deliberate
+    /// crash in the fault-injection harness).
+    pub(crate) fn sync(&self) {
+        if let Some(writer) = &self.writer {
+            let _ = writer
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .sync();
+        }
+    }
+}
+
+static ACTIVE: RwLock<Option<Arc<DurabilityContext>>> = RwLock::new(None);
+
+/// Deactivates durability when dropped, fsyncing the journal first.
+#[derive(Debug)]
+pub struct DurabilityGuard {
+    _private: (),
+}
+
+impl Drop for DurabilityGuard {
+    fn drop(&mut self) {
+        let ctx = ACTIVE
+            .write()
+            .map(|mut slot| slot.take())
+            .unwrap_or_else(|e| e.into_inner().take());
+        if let Some(ctx) = ctx {
+            ctx.sync();
+        }
+    }
+}
+
+/// Installs a durability configuration for every sweep in the process
+/// until the returned guard is dropped. When `config.resume` is set the
+/// journal is replayed first and the [`ReplayReport`] describes what
+/// was restored (including whether a torn final record was skipped).
+///
+/// # Errors
+///
+/// [`DurabilityError::ResumeWithoutJournal`] when `resume` is set with
+/// no journal path, [`DurabilityError::JournalMissing`] when the
+/// journal to resume from does not exist, and
+/// [`DurabilityError::Journal`] for I/O or corruption while replaying
+/// or opening the journal.
+pub fn activate(
+    config: DurabilityConfig,
+) -> Result<(DurabilityGuard, ReplayReport), DurabilityError> {
+    let (replay, report) = if config.resume {
+        let path = config
+            .journal
+            .as_deref()
+            .ok_or(DurabilityError::ResumeWithoutJournal)?;
+        if !path.exists() {
+            return Err(DurabilityError::JournalMissing(path.to_path_buf()));
+        }
+        journal::replay(path)?
+    } else {
+        (ReplayMap::empty(), ReplayReport::default())
+    };
+    let writer = match &config.journal {
+        Some(path) if config.resume => Some(Mutex::new(JournalWriter::append_to(path)?)),
+        Some(path) => Some(Mutex::new(JournalWriter::create(path)?)),
+        None => None,
+    };
+    let ctx = DurabilityContext {
+        writer,
+        journal_broken: AtomicBool::new(false),
+        replay,
+        timeout: config.timeout,
+        retries: config.retries,
+        sweep_seq: AtomicU64::new(0),
+    };
+    match ACTIVE.write() {
+        Ok(mut slot) => *slot = Some(Arc::new(ctx)),
+        Err(e) => *e.into_inner() = Some(Arc::new(ctx)),
+    }
+    Ok((DurabilityGuard { _private: () }, report))
+}
+
+/// The active durability context, if any.
+pub(crate) fn current() -> Option<Arc<DurabilityContext>> {
+    ACTIVE
+        .read()
+        .ok()
+        .and_then(|slot| slot.as_ref().map(Arc::clone))
+}
+
+// ---------------------------------------------------------------------
+// Process-wide durability counters
+// ---------------------------------------------------------------------
+
+static TOTAL_JOURNAL_HITS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_JOURNAL_STALE: AtomicU64 = AtomicU64::new(0);
+static TOTAL_RETRIES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide durability counters (surfaced by `repro --stats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DurabilityTotals {
+    /// Points answered from the replayed journal instead of
+    /// re-evaluation.
+    pub journal_hits: u64,
+    /// Journaled records ignored because their fingerprint did not
+    /// match the live point (a journal from a different grid).
+    pub journal_stale: u64,
+    /// Retry attempts consumed by *this* process (replayed retry
+    /// counts are restored into sweep health but not re-counted here).
+    pub retries: u64,
+}
+
+/// A snapshot of the process-wide durability counters.
+pub fn durability_totals() -> DurabilityTotals {
+    DurabilityTotals {
+        journal_hits: TOTAL_JOURNAL_HITS.load(Ordering::Relaxed),
+        journal_stale: TOTAL_JOURNAL_STALE.load(Ordering::Relaxed),
+        retries: TOTAL_RETRIES.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn note_journal_hits(n: u64) {
+    TOTAL_JOURNAL_HITS.fetch_add(n, Ordering::Relaxed);
+}
+
+pub(crate) fn note_journal_stale(n: u64) {
+    TOTAL_JOURNAL_STALE.fetch_add(n, Ordering::Relaxed);
+}
+
+pub(crate) fn note_retries(n: u64) {
+    TOTAL_RETRIES.fetch_add(n, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Retry backoff
+// ---------------------------------------------------------------------
+
+/// First-retry base delay, milliseconds.
+pub const BACKOFF_BASE_MS: u64 = 2;
+/// Ceiling on the exponential raw delay, milliseconds.
+pub const BACKOFF_CAP_MS: u64 = 64;
+
+/// The delay before retry number `attempt` (0-based) of the point at
+/// submission index `index`: exponential in the attempt
+/// (`BACKOFF_BASE_MS << attempt`, capped at [`BACKOFF_CAP_MS`]) with
+/// jitter in the upper half of the window. The jitter is *derived*, not
+/// random — an FNV-1a hash of `(index, attempt)` — so the exact same
+/// point retries after the exact same delay at any thread count, on any
+/// run.
+pub fn backoff_delay(index: usize, attempt: u32) -> Duration {
+    let raw = BACKOFF_BASE_MS
+        .checked_shl(attempt.min(16))
+        .unwrap_or(u64::MAX)
+        .min(BACKOFF_CAP_MS);
+    let mut key = [0u8; 12];
+    key[..8].copy_from_slice(&(index as u64).to_le_bytes());
+    key[8..].copy_from_slice(&attempt.to_le_bytes());
+    let jitter = journal::fnv1a64(&key) % (raw / 2).max(1);
+    Duration::from_millis(raw / 2 + jitter)
+}
+
+// ---------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------
+
+thread_local! {
+    /// The deadline armed for the evaluation currently running on this
+    /// thread, if any: (start instant, budget).
+    static WATCHDOG: Cell<Option<(Instant, Duration)>> = const { Cell::new(None) };
+}
+
+/// Arms the per-point watchdog for the evaluation about to run on this
+/// thread.
+pub(crate) fn arm_watchdog(budget: Duration) {
+    WATCHDOG.with(|w| w.set(Some((Instant::now(), budget))));
+}
+
+/// Disarms the watchdog after an evaluation settles.
+pub(crate) fn disarm_watchdog() {
+    WATCHDOG.with(|w| w.set(None));
+}
+
+/// The armed deadline on this thread, if any.
+pub(crate) fn watchdog_state() -> Option<(Instant, Duration)> {
+    WATCHDOG.with(Cell::get)
+}
+
+/// The deterministic diagnostic a timed-out point fails with.
+pub(crate) fn timeout_message(index: usize, budget: Duration) -> String {
+    format!(
+        "watchdog timeout: point {index} exceeded its {} ms deadline",
+        budget.as_millis()
+    )
+}
+
+/// Cooperative watchdog checkpoint.
+///
+/// Long-running evaluation code calls this at loop boundaries; when the
+/// current thread's armed deadline has expired it panics with a
+/// deterministic message, which the sweep's containment boundary
+/// catches and converts to `Failed{timeout}`. Outside an armed
+/// evaluation (the common case — sequential engine paths, tests) it is
+/// a no-op costing one thread-local read.
+pub fn watchdog_checkpoint() {
+    if let Some((start, budget)) = watchdog_state() {
+        if start.elapsed() >= budget {
+            panic!(
+                "watchdog deadline exceeded ({} ms budget) at cooperative checkpoint",
+                budget.as_millis()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_windowed() {
+        for attempt in 0..8u32 {
+            let raw = (BACKOFF_BASE_MS << attempt.min(16)).min(BACKOFF_CAP_MS);
+            for index in [0usize, 3, 17, 4096] {
+                let d = backoff_delay(index, attempt);
+                assert_eq!(d, backoff_delay(index, attempt), "reproducible");
+                let ms = d.as_millis() as u64;
+                assert!(ms >= raw / 2 && ms < raw.max(2), "attempt {attempt} index {index}: {ms}ms not in [{}, {raw})", raw / 2);
+            }
+        }
+        // Jitter actually varies across indices.
+        let distinct: std::collections::HashSet<_> =
+            (0..64usize).map(|i| backoff_delay(i, 5)).collect();
+        assert!(distinct.len() > 1, "jitter must separate indices");
+    }
+
+    #[test]
+    fn backoff_never_overflows_at_extreme_attempts() {
+        let d = backoff_delay(usize::MAX, u32::MAX);
+        assert!(d.as_millis() as u64 <= BACKOFF_CAP_MS);
+    }
+
+    #[test]
+    fn watchdog_is_inert_when_unarmed() {
+        disarm_watchdog();
+        watchdog_checkpoint(); // must not panic
+        assert!(watchdog_state().is_none());
+    }
+
+    #[test]
+    fn watchdog_trips_after_the_budget() {
+        arm_watchdog(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        let caught = std::panic::catch_unwind(watchdog_checkpoint);
+        disarm_watchdog();
+        let err = caught.expect_err("expired deadline must trip");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("watchdog deadline exceeded"), "{msg}");
+    }
+
+    #[test]
+    fn resume_without_journal_is_a_typed_error() {
+        let err = activate(DurabilityConfig { resume: true, ..Default::default() })
+            .expect_err("resume without journal must fail");
+        assert!(matches!(err, DurabilityError::ResumeWithoutJournal));
+        assert!(err.to_string().contains("--resume requires --journal"), "{err}");
+    }
+
+    #[test]
+    fn resume_from_a_missing_journal_is_a_typed_error() {
+        let path = std::env::temp_dir().join(format!(
+            "ucore-durability-missing-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let err = activate(DurabilityConfig {
+            journal: Some(path.clone()),
+            resume: true,
+            ..Default::default()
+        })
+        .expect_err("missing journal must fail");
+        assert!(matches!(err, DurabilityError::JournalMissing(_)));
+        assert!(err.to_string().contains("does not exist"), "{err}");
+    }
+}

@@ -182,6 +182,11 @@ impl ProjectionEngine {
         f: ParallelFraction,
         use_cache: bool,
     ) -> Option<NodePoint> {
+        // Cooperative watchdog: under a `--timeout-ms` deadline, a point
+        // that overstays its budget is cancelled here (as a contained
+        // panic) instead of hanging its sweep worker. A no-op when no
+        // deadline is armed on this thread.
+        crate::durability::watchdog_checkpoint();
         let optimizer = self.optimizer();
         let best = if use_cache {
             self.cache.optimize(&optimizer, spec, budgets, f).ok()?

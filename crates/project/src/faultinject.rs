@@ -29,7 +29,23 @@
 //! carries the same plan in `kind@index[,kind@index...]` syntax, e.g.
 //! `UCORE_FAULT_INJECT=panic@3,nan@7` — the form the CI fault-injection
 //! job and the `repro` acceptance tests use. Kinds: `panic`, `nan`,
-//! `inf`, `cache`.
+//! `inf`, `cache`, `kill`, `stall`.
+//!
+//! # Transient faults
+//!
+//! A fault can be limited to the first N evaluation *attempts* of its
+//! point with an `xN` suffix: `panic@3x1` panics attempt 0 of point 3
+//! and lets every retry succeed — the shape that exercises the sweep's
+//! retry-with-backoff recovery. Without the suffix a fault is
+//! persistent (every attempt fails, so retries are exhausted).
+//!
+//! # Crash and stall faults
+//!
+//! Two kinds exercise the durability layer rather than containment:
+//! `kill@i` aborts the whole process the moment point *i* is claimed
+//! (after fsyncing the run journal — a deterministic `kill -9` for the
+//! crash/resume suite), and `stall@i` makes point *i* hang until the
+//! per-point watchdog deadline converts it to `Failed{timeout}`.
 
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -51,6 +67,14 @@ pub enum Fault {
     /// Simulate a cache-layer failure: the memo lookup errors out and
     /// must not corrupt the shared cache.
     CacheError,
+    /// Abort the process the moment this point is claimed (after the
+    /// run journal is fsync'd) — the deterministic crash behind the
+    /// kill-and-resume durability suite.
+    Kill,
+    /// Hang the evaluation of this point until the watchdog deadline
+    /// releases it as `Failed{timeout}` (or a safety cap, when no
+    /// deadline is configured).
+    Stall,
 }
 
 impl Fault {
@@ -60,6 +84,8 @@ impl Fault {
             Fault::NanParam => "nan",
             Fault::InfParam => "inf",
             Fault::CacheError => "cache",
+            Fault::Kill => "kill",
+            Fault::Stall => "stall",
         }
     }
 }
@@ -83,8 +109,8 @@ impl fmt::Display for FaultSpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "invalid fault spec {:?}: {} (expected kind@index with kind one of \
-             panic|nan|inf|cache)",
+            "invalid fault spec {:?}: {} (expected kind@index[xN] with kind one of \
+             panic|nan|inf|cache|kill|stall)",
             self.fragment, self.reason
         )
     }
@@ -92,10 +118,20 @@ impl fmt::Display for FaultSpecError {
 
 impl Error for FaultSpecError {}
 
+/// One planned fault: the kind, plus how many evaluation attempts it
+/// poisons (`None` = every attempt — the fault is persistent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedFault {
+    /// The injected fault kind.
+    pub fault: Fault,
+    /// Number of leading attempts that fail; `None` means all of them.
+    pub fail_attempts: Option<u32>,
+}
+
 /// A deterministic set of faults, keyed by sweep submission index.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
-    faults: BTreeMap<usize, Fault>,
+    faults: BTreeMap<usize, PlannedFault>,
 }
 
 impl FaultPlan {
@@ -104,17 +140,39 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
-    /// Adds a fault at a submission index (builder style). A later fault
-    /// at the same index replaces the earlier one.
+    /// Adds a persistent fault at a submission index (builder style). A
+    /// later fault at the same index replaces the earlier one.
     #[must_use]
     pub fn with(mut self, index: usize, fault: Fault) -> Self {
-        self.faults.insert(index, fault);
+        self.faults.insert(index, PlannedFault { fault, fail_attempts: None });
         self
     }
 
-    /// The fault planned for a submission index, if any.
+    /// Adds a *transient* fault: only the first `attempts` evaluation
+    /// attempts of the point fail; retries beyond that succeed. The
+    /// `kind@indexxN` spec syntax maps here.
+    #[must_use]
+    pub fn with_transient(mut self, index: usize, fault: Fault, attempts: u32) -> Self {
+        self.faults
+            .insert(index, PlannedFault { fault, fail_attempts: Some(attempts) });
+        self
+    }
+
+    /// The fault kind planned for a submission index, if any,
+    /// regardless of attempt limits.
     pub fn fault_at(&self, index: usize) -> Option<Fault> {
-        self.faults.get(&index).copied()
+        self.faults.get(&index).map(|p| p.fault)
+    }
+
+    /// The fault to apply to evaluation attempt `attempt` (0-based) of
+    /// the point at `index`: `None` once a transient fault's attempt
+    /// budget is spent.
+    pub fn fault_for_attempt(&self, index: usize, attempt: u32) -> Option<Fault> {
+        let planned = self.faults.get(&index)?;
+        match planned.fail_attempts {
+            Some(n) if attempt >= n => None,
+            _ => Some(planned.fault),
+        }
     }
 
     /// Number of planned faults.
@@ -127,14 +185,15 @@ impl FaultPlan {
         self.faults.is_empty()
     }
 
-    /// Parses a `kind@index[,kind@index...]` specification, the
-    /// `UCORE_FAULT_INJECT` syntax. Whitespace around fragments is
-    /// ignored; an empty string is an empty plan.
+    /// Parses a `kind@index[xN][,kind@index[xN]...]` specification, the
+    /// `UCORE_FAULT_INJECT` syntax. The optional `xN` suffix makes the
+    /// fault transient (only the first N attempts fail). Whitespace
+    /// around fragments is ignored; an empty string is an empty plan.
     ///
     /// # Errors
     ///
-    /// Returns [`FaultSpecError`] for an unknown kind or an unparsable
-    /// index.
+    /// Returns [`FaultSpecError`] for an unknown kind, an unparsable
+    /// index, or an unparsable attempt count.
     pub fn parse(spec: &str) -> Result<Self, FaultSpecError> {
         let mut plan = FaultPlan::new();
         for fragment in spec.split(',') {
@@ -142,7 +201,7 @@ impl FaultPlan {
             if fragment.is_empty() {
                 continue;
             }
-            let Some((kind, index)) = fragment.split_once('@') else {
+            let Some((kind, target)) = fragment.split_once('@') else {
                 return Err(FaultSpecError {
                     fragment: fragment.into(),
                     reason: "missing '@'",
@@ -153,6 +212,8 @@ impl FaultPlan {
                 "nan" => Fault::NanParam,
                 "inf" => Fault::InfParam,
                 "cache" => Fault::CacheError,
+                "kill" => Fault::Kill,
+                "stall" => Fault::Stall,
                 _ => {
                     return Err(FaultSpecError {
                         fragment: fragment.into(),
@@ -160,11 +221,22 @@ impl FaultPlan {
                     })
                 }
             };
-            let index: usize = index.trim().parse().map_err(|_| FaultSpecError {
+            let target = target.trim();
+            let (index_str, fail_attempts) = match target.split_once('x') {
+                Some((i, n)) => {
+                    let attempts: u32 = n.trim().parse().map_err(|_| FaultSpecError {
+                        fragment: fragment.into(),
+                        reason: "attempt count after 'x' is not a non-negative integer",
+                    })?;
+                    (i.trim(), Some(attempts))
+                }
+                None => (target, None),
+            };
+            let index: usize = index_str.parse().map_err(|_| FaultSpecError {
                 fragment: fragment.into(),
                 reason: "index is not a non-negative integer",
             })?;
-            plan.faults.insert(index, fault);
+            plan.faults.insert(index, PlannedFault { fault, fail_attempts });
         }
         Ok(plan)
     }
@@ -256,9 +328,48 @@ mod tests {
 
     #[test]
     fn display_round_trips_keywords() {
-        for f in [Fault::Panic, Fault::NanParam, Fault::InfParam, Fault::CacheError] {
+        for f in [
+            Fault::Panic,
+            Fault::NanParam,
+            Fault::InfParam,
+            Fault::CacheError,
+            Fault::Kill,
+            Fault::Stall,
+        ] {
             let plan = FaultPlan::parse(&format!("{f}@1")).unwrap();
             assert_eq!(plan.fault_at(1), Some(f));
+        }
+    }
+
+    #[test]
+    fn transient_suffix_bounds_the_failing_attempts() {
+        let plan = FaultPlan::parse("panic@3x2,stall@7").unwrap();
+        // Point 3: first two attempts fail, the third succeeds.
+        assert_eq!(plan.fault_at(3), Some(Fault::Panic));
+        assert_eq!(plan.fault_for_attempt(3, 0), Some(Fault::Panic));
+        assert_eq!(plan.fault_for_attempt(3, 1), Some(Fault::Panic));
+        assert_eq!(plan.fault_for_attempt(3, 2), None);
+        // Point 7: persistent — every attempt fails.
+        assert_eq!(plan.fault_for_attempt(7, 0), Some(Fault::Stall));
+        assert_eq!(plan.fault_for_attempt(7, 99), Some(Fault::Stall));
+        // Unplanned points are clean.
+        assert_eq!(plan.fault_for_attempt(5, 0), None);
+    }
+
+    #[test]
+    fn transient_builder_matches_the_spec_syntax() {
+        let built = FaultPlan::new().with_transient(3, Fault::Panic, 1);
+        let parsed = FaultPlan::parse("panic@3x1").unwrap();
+        assert_eq!(built, parsed);
+        assert_eq!(built.fault_for_attempt(3, 0), Some(Fault::Panic));
+        assert_eq!(built.fault_for_attempt(3, 1), None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_attempt_counts() {
+        for bad in ["panic@3x", "panic@3xq", "panic@x2"] {
+            let err = FaultPlan::parse(bad).unwrap_err();
+            assert!(err.to_string().contains("invalid fault spec"), "{bad}");
         }
     }
 }

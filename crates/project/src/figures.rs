@@ -79,6 +79,7 @@ fn figure_with_metric(
             points_ok: stats.points_ok,
             points_infeasible: stats.points_infeasible,
             points_failed: stats.points_failed,
+            retries: stats.retries,
         },
         failures,
     })

@@ -14,7 +14,23 @@
 //!   process-wide memoization cache ([`ucore_core::EvalCache`]);
 //! * [`figures`] — ready-made reproductions of Figures 6, 7, 8, 9
 //!   and 10, assembled via the sweep engine;
-//! * [`results`] — serializable result structures for export.
+//! * [`results`] — serializable result structures for export;
+//! * [`journal`] — the append-only, checksummed run journal (and the
+//!   [`atomic_write`] helper for crash-safe artifacts);
+//! * [`durability`] — checkpoint/resume, per-point watchdog deadlines,
+//!   and retry-with-backoff orchestration over the sweep engine.
+//!
+//! ## Durability & recovery
+//!
+//! With a [`DurabilityConfig`] active (see [`durability::activate`]),
+//! every completed point streams to an append-only, CRC-framed journal
+//! and an interrupted run can be resumed: replayed points are not
+//! re-evaluated, and because the journal stores exact `f64` bit
+//! patterns and retry counts, the resumed run's figure JSON is
+//! **byte-identical** to an uninterrupted run at any thread count. A
+//! per-point watchdog deadline converts stuck evaluations into
+//! contained `Failed{timeout}` outcomes, and failed points retry with
+//! exponential backoff and deterministic jitter.
 //!
 //! ## Parallelism, caching and determinism
 //!
@@ -45,9 +61,11 @@
 
 pub mod crossover;
 pub mod designspace;
+pub mod durability;
 pub mod engine;
 pub mod faultinject;
 pub mod figures;
+pub mod journal;
 pub mod results;
 pub mod scenario;
 pub mod sweep;
@@ -55,11 +73,20 @@ pub mod uncertainty;
 
 pub use crossover::{f_crossover, node_crossover, paper_crossovers, CrossoverRecord};
 pub use designspace::{bandwidth_wall_mu, required_mu, DesignSpaceCell, DesignSpaceMap};
+pub use durability::{
+    backoff_delay, durability_totals, watchdog_checkpoint, DurabilityConfig,
+    DurabilityError, DurabilityGuard, DurabilityTotals,
+};
 pub use engine::{DesignId, ProjectionEngine, ProjectionError, YearPoint};
+pub use journal::{
+    atomic_write, atomic_write_with, point_fingerprint, JournalError, JournalRecord,
+    JournalWriter, ReplayReport,
+};
 pub use results::{FailureRecord, FigureData, NodePoint, Panel, Series, SweepHealth};
 pub use scenario::Scenario;
 pub use sweep::{
-    failure_diagnostics, figure_points, outcome_totals, sweep, FailureDiagnostic,
-    Outcome, OutcomeTotals, SweepConfig, SweepPoint, SweepResult, SweepStats,
+    failure_diagnostics, failures_dropped, figure_points, outcome_totals, sweep,
+    FailureDiagnostic, Outcome, OutcomeTotals, SweepConfig, SweepPoint, SweepResult,
+    SweepStats, MAX_RETAINED_FAILURES,
 };
 pub use uncertainty::{speedup_interval, InputUncertainty, SpeedupInterval};

@@ -56,6 +56,11 @@ pub struct SweepHealth {
     /// Points whose evaluation failed (contained panic or injected
     /// fault).
     pub points_failed: usize,
+    /// Retry attempts consumed by the figure's points under the
+    /// `--retries` policy. A resumed run restores each replayed point's
+    /// journaled retry count, so this field is identical between an
+    /// interrupted-and-resumed run and an uninterrupted one.
+    pub retries: u64,
 }
 
 /// One contained failure recorded during figure assembly: which cell of
@@ -130,7 +135,12 @@ mod tests {
             id: "figure-6".into(),
             title: "FFT-1024 projection".into(),
             metric: Metric::Speedup,
-            health: SweepHealth { points_ok: 1, points_infeasible: 0, points_failed: 0 },
+            health: SweepHealth {
+                points_ok: 1,
+                points_infeasible: 0,
+                points_failed: 0,
+                retries: 0,
+            },
             failures: Vec::new(),
             panels: vec![Panel {
                 f: 0.9,

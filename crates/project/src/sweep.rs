@@ -52,14 +52,16 @@
 //! cache hit/miss deltas, and the wall time of the evaluation phase.
 //! The `repro --stats` flag surfaces the global totals after rendering.
 
+use crate::durability::{self, DurabilityContext};
 use crate::engine::{DesignId, ProjectionEngine};
 use crate::faultinject::{self, Fault, FaultPlan};
+use crate::journal::{self, JournalRecord, ReplayLookup};
 use crate::results::NodePoint;
 use std::any::Any;
 use std::cell::Cell;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, Once};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, Once, PoisonError};
 use std::time::{Duration, Instant};
 use ucore_calibrate::WorkloadColumn;
 use ucore_core::{Budgets, ParallelFraction};
@@ -200,6 +202,14 @@ pub struct SweepStats {
     /// Cache misses (optimizer runs) during this sweep. Zero when the
     /// sweep ran with the cache disabled.
     pub cache_misses: u64,
+    /// Points answered by replaying a run journal (`--resume`) instead
+    /// of re-evaluating.
+    pub journal_hits: u64,
+    /// Retry attempts consumed by this sweep's points. Replayed points
+    /// contribute the retry count recorded in the journal, so a
+    /// resumed run's health accounting matches the uninterrupted run
+    /// exactly.
+    pub retries: u64,
     /// Wall time of the evaluation phase.
     pub wall: Duration,
 }
@@ -244,19 +254,29 @@ pub struct FailureDiagnostic {
 pub const MAX_RETAINED_FAILURES: usize = 64;
 
 static FAILURE_LOG: Mutex<Vec<FailureDiagnostic>> = Mutex::new(Vec::new());
+static FAILURES_DROPPED: AtomicU64 = AtomicU64::new(0);
 
-fn record_failures(results: &[Outcome]) {
+fn record_failures<'a>(results: impl Iterator<Item = (usize, &'a Outcome)>) {
     let mut log = FAILURE_LOG
         .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    for (index, outcome) in results.iter().enumerate() {
-        if log.len() >= MAX_RETAINED_FAILURES {
-            break;
-        }
+        .unwrap_or_else(PoisonError::into_inner);
+    for (index, outcome) in results {
         if let Outcome::Failed { panic_msg } = outcome {
-            log.push(FailureDiagnostic { index, panic_msg: panic_msg.clone() });
+            if log.len() >= MAX_RETAINED_FAILURES {
+                // Keep counting what the bounded log cannot hold, so a
+                // flood of failures is visible (`--stats`), not silent.
+                FAILURES_DROPPED.fetch_add(1, Ordering::Relaxed);
+            } else {
+                log.push(FailureDiagnostic { index, panic_msg: panic_msg.clone() });
+            }
         }
     }
+}
+
+/// Failure diagnostics discarded because the bounded log
+/// ([`MAX_RETAINED_FAILURES`]) was already full.
+pub fn failures_dropped() -> u64 {
+    FAILURES_DROPPED.load(Ordering::Relaxed)
 }
 
 /// A snapshot of the retained per-process failure diagnostics.
@@ -285,29 +305,48 @@ pub fn sweep(
     let threads = config.effective_threads(points.len());
     let plan = faultinject::current_plan();
     let plan = plan.as_deref();
+    let dur = durability::current();
+    let dur = dur.as_deref();
+    // Sweeps execute in a deterministic order for a given command, so
+    // the sequence number lines a resumed run's sweeps up with the
+    // journaled ones.
+    let sweep_seq = dur.map(|d| d.next_sweep_seq()).unwrap_or(0);
     let cache_before = engine.cache().stats();
     let start = Instant::now();
 
-    let outcomes: Vec<Outcome> = if threads <= 1 || points.len() <= 1 {
+    let resolutions: Vec<PointResolution> = if threads <= 1 || points.len() <= 1 {
         points
             .iter()
             .enumerate()
-            .map(|(i, p)| evaluate_contained(engine, p, i, config.use_cache, plan))
+            .map(|(i, p)| resolve_point(engine, p, i, config.use_cache, plan, dur, sweep_seq))
             .collect()
     } else {
-        parallel_outcomes(engine, &points, threads, config.use_cache, plan)
+        parallel_resolutions(engine, &points, threads, config.use_cache, plan, dur, sweep_seq)
     };
+    // One batch-final fsync bounds journal loss to the in-flight tail.
+    if let Some(d) = dur {
+        d.sync();
+    }
 
     let wall = start.elapsed();
     let cache_after = engine.cache().stats();
-    let points_ok = outcomes.iter().filter(|o| o.node_point().is_some()).count();
-    let points_infeasible = outcomes.iter().filter(|o| o.is_infeasible()).count();
-    let points_failed = outcomes.iter().filter(|o| o.is_failed()).count();
+    let points_ok = resolutions
+        .iter()
+        .filter(|r| r.outcome.node_point().is_some())
+        .count();
+    let points_infeasible =
+        resolutions.iter().filter(|r| r.outcome.is_infeasible()).count();
+    let points_failed = resolutions.iter().filter(|r| r.outcome.is_failed()).count();
+    let journal_hits = resolutions.iter().filter(|r| r.replayed).count() as u64;
+    let retries: u64 = resolutions.iter().map(|r| u64::from(r.retries)).sum();
     TOTAL_OK.fetch_add(points_ok as u64, Ordering::Relaxed);
     TOTAL_INFEASIBLE.fetch_add(points_infeasible as u64, Ordering::Relaxed);
     TOTAL_FAILED.fetch_add(points_failed as u64, Ordering::Relaxed);
+    durability::note_journal_hits(journal_hits);
     if points_failed > 0 {
-        record_failures(&outcomes);
+        record_failures(
+            resolutions.iter().enumerate().map(|(i, r)| (i, &r.outcome)),
+        );
     }
     let stats = SweepStats {
         points: points.len(),
@@ -317,14 +356,20 @@ pub fn sweep(
         threads,
         cache_hits: cache_after.hits - cache_before.hits,
         cache_misses: cache_after.misses - cache_before.misses,
+        journal_hits,
+        retries,
         wall,
     };
     record_phase(stats);
     let results = points
         .into_iter()
-        .zip(outcomes)
+        .zip(resolutions)
         .enumerate()
-        .map(|(index, (point, outcome))| SweepResult { index, point, outcome })
+        .map(|(index, (point, resolution))| SweepResult {
+            index,
+            point,
+            outcome: resolution.outcome,
+        })
         .collect();
     (results, stats)
 }
@@ -347,24 +392,132 @@ pub fn drain_phase_log() -> Vec<SweepStats> {
     )
 }
 
+/// How one point was resolved: the outcome, plus the durability
+/// accounting the sweep folds into its stats.
+#[derive(Debug, Clone)]
+struct PointResolution {
+    outcome: Outcome,
+    /// Retry attempts consumed (journaled value when replayed).
+    retries: u32,
+    /// Whether the outcome came from the replayed journal.
+    replayed: bool,
+}
+
+/// Resolves one point through the full durability pipeline:
+///
+/// 1. **Replay** — with a resumed journal active, a matching
+///    `(sweep, index, fingerprint)` record answers the point without
+///    re-evaluation (a journal hit). A record whose fingerprint does
+///    not match the live point (stale journal) is ignored.
+/// 2. **Kill fault** — `kill@i` aborts the process here, after an
+///    fsync, modelling a `kill -9` between two completed points.
+/// 3. **Evaluate + retry** — the contained evaluation runs; a `Failed`
+///    outcome is retried up to the configured budget with
+///    deterministic backoff ([`durability::backoff_delay`]).
+/// 4. **Journal** — the settled outcome (and its retry count) is
+///    appended to the run journal.
+fn resolve_point(
+    engine: &ProjectionEngine,
+    point: &SweepPoint,
+    index: usize,
+    use_cache: bool,
+    plan: Option<&FaultPlan>,
+    dur: Option<&DurabilityContext>,
+    sweep_seq: u64,
+) -> PointResolution {
+    let fingerprint = dur.map(|_| journal::point_fingerprint(point));
+    if let (Some(d), Some(fp)) = (dur, fingerprint) {
+        match d.lookup(sweep_seq, index, fp) {
+            ReplayLookup::Hit(rec) => {
+                return PointResolution {
+                    outcome: rec.outcome.clone(),
+                    retries: rec.retries,
+                    replayed: true,
+                }
+            }
+            ReplayLookup::Stale => durability::note_journal_stale(1),
+            ReplayLookup::Miss => {}
+        }
+    }
+    if plan.and_then(|p| p.fault_at(index)) == Some(Fault::Kill) {
+        // A deterministic crash for the durability suite: flush every
+        // completed point, then die without unwinding — exactly what a
+        // kill -9 between two points leaves behind.
+        if let Some(d) = dur {
+            d.sync();
+        }
+        std::process::abort();
+    }
+    let max_retries = dur.map(|d| d.retries()).unwrap_or(0);
+    let timeout = dur.and_then(|d| d.timeout());
+    let mut attempt: u32 = 0;
+    let outcome = loop {
+        let outcome = evaluate_contained(engine, point, index, use_cache, plan, attempt, timeout);
+        if !outcome.is_failed() || attempt >= max_retries {
+            break outcome;
+        }
+        std::thread::sleep(durability::backoff_delay(index, attempt));
+        attempt += 1;
+    };
+    if attempt > 0 {
+        durability::note_retries(u64::from(attempt));
+    }
+    if let (Some(d), Some(fp)) = (dur, fingerprint) {
+        if d.journaling() {
+            d.append(&JournalRecord {
+                sweep_seq,
+                index,
+                fingerprint: fp,
+                retries: attempt,
+                outcome: outcome.clone(),
+            });
+        }
+    }
+    PointResolution { outcome, retries: attempt, replayed: false }
+}
+
+/// How often the stall detector samples worker heartbeats, and how far
+/// past the deadline a point must run before it is reported (the grace
+/// leaves room for the cooperative checkpoint to fire first).
+const STALL_DETECTOR_PERIOD: Duration = Duration::from_millis(10);
+const STALL_DETECTOR_GRACE: Duration = Duration::from_millis(250);
+
 /// Work-queue fan-out: workers claim indices from a shared atomic
-/// counter, collect `(index, outcome)` pairs locally, and the merged
+/// counter, collect `(index, resolution)` pairs locally, and the merged
 /// pairs are slotted back into submission order. A worker that dies
 /// mid-batch (impossible while per-point containment holds, but the
 /// join is defensive anyway) surfaces as `Failed` outcomes for the
 /// points it never delivered — never as a whole-sweep abort.
-fn parallel_outcomes(
+///
+/// When a watchdog deadline is configured, one extra *stall detector*
+/// thread samples per-worker heartbeats and warns on stderr about any
+/// point running well past its deadline. The detector is observability
+/// only: results always come from the workers, so its scheduling can
+/// never affect output bytes.
+#[allow(clippy::too_many_arguments)]
+fn parallel_resolutions(
     engine: &ProjectionEngine,
     points: &[SweepPoint],
     threads: usize,
     use_cache: bool,
     plan: Option<&FaultPlan>,
-) -> Vec<Outcome> {
+    dur: Option<&DurabilityContext>,
+    sweep_seq: u64,
+) -> Vec<PointResolution> {
     let next = AtomicUsize::new(0);
+    let done = AtomicBool::new(false);
+    let heartbeats: Vec<Mutex<Option<(usize, Instant)>>> =
+        (0..threads).map(|_| Mutex::new(None)).collect();
     let scope_result = crossbeam::scope(|scope| {
+        let detector = dur.and_then(|d| d.timeout()).map(|budget| {
+            let done = &done;
+            let heartbeats = &heartbeats;
+            scope.spawn(move |_| stall_detector(budget, done, heartbeats))
+        });
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
+            .map(|w| {
                 let next = &next;
+                let heartbeat = &heartbeats[w];
                 scope.spawn(move |_| {
                     let mut local = Vec::new();
                     loop {
@@ -372,22 +525,31 @@ fn parallel_outcomes(
                         let Some(point) = points.get(i) else {
                             break;
                         };
+                        *heartbeat.lock().unwrap_or_else(PoisonError::into_inner) =
+                            Some((i, Instant::now()));
                         local.push((
                             i,
-                            evaluate_contained(engine, point, i, use_cache, plan),
+                            resolve_point(
+                                engine, point, i, use_cache, plan, dur, sweep_seq,
+                            ),
                         ));
+                        *heartbeat.lock().unwrap_or_else(PoisonError::into_inner) = None;
                     }
                     local
                 })
             })
             .collect();
-        let mut tagged: Vec<(usize, Outcome)> = Vec::with_capacity(points.len());
+        let mut tagged: Vec<(usize, PointResolution)> = Vec::with_capacity(points.len());
         let mut worker_panics: Vec<String> = Vec::new();
         for handle in handles {
             match handle.join() {
                 Ok(local) => tagged.extend(local),
                 Err(payload) => worker_panics.push(panic_message(payload.as_ref())),
             }
+        }
+        done.store(true, Ordering::Relaxed);
+        if let Some(detector) = detector {
+            let _ = detector.join();
         }
         (tagged, worker_panics)
     });
@@ -396,12 +558,12 @@ fn parallel_outcomes(
         Err(payload) => (Vec::new(), vec![panic_message(payload.as_ref())]),
     };
 
-    // Slot tagged outcomes into submission order; indices a dead worker
-    // never delivered degrade to Failed.
-    let mut slots: Vec<Option<Outcome>> = vec![None; points.len()];
-    for (i, outcome) in tagged {
+    // Slot tagged resolutions into submission order; indices a dead
+    // worker never delivered degrade to Failed.
+    let mut slots: Vec<Option<PointResolution>> = vec![None; points.len()];
+    for (i, resolution) in tagged {
         if let Some(slot) = slots.get_mut(i) {
-            *slot = Some(outcome);
+            *slot = Some(resolution);
         }
     }
     let worker_msg = if worker_panics.is_empty() {
@@ -412,9 +574,43 @@ fn parallel_outcomes(
     slots
         .into_iter()
         .map(|slot| {
-            slot.unwrap_or_else(|| Outcome::Failed { panic_msg: worker_msg.clone() })
+            slot.unwrap_or_else(|| PointResolution {
+                outcome: Outcome::Failed { panic_msg: worker_msg.clone() },
+                retries: 0,
+                replayed: false,
+            })
         })
         .collect()
+}
+
+/// The stall-detector loop: samples worker heartbeats until the sweep
+/// finishes, warning once per point that overstays its deadline.
+fn stall_detector(
+    budget: Duration,
+    done: &AtomicBool,
+    heartbeats: &[Mutex<Option<(usize, Instant)>>],
+) {
+    let mut warned: Vec<usize> = Vec::new();
+    while !done.load(Ordering::Relaxed) {
+        std::thread::sleep(STALL_DETECTOR_PERIOD);
+        for (worker, heartbeat) in heartbeats.iter().enumerate() {
+            let sample = *heartbeat.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some((index, started)) = sample {
+                if started.elapsed() > budget + STALL_DETECTOR_GRACE
+                    && !warned.contains(&index)
+                {
+                    warned.push(index);
+                    eprintln!(
+                        "warning: stall detector: point {index} on worker {worker} is \
+                         {} ms past its {} ms deadline; waiting for cooperative \
+                         cancellation",
+                        (started.elapsed() - budget).as_millis(),
+                        budget.as_millis(),
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// Evaluates one point inside a panic boundary, applying any injected
@@ -423,14 +619,22 @@ fn parallel_outcomes(
 /// never a raw NaN — becomes the contained failure. The injected
 /// cache-layer error returns before any cache access, so the shared
 /// memo table cannot be polluted by it.
+///
+/// With a watchdog `timeout` configured the deadline is armed for the
+/// duration of the evaluation: [`durability::watchdog_checkpoint`]
+/// calls inside the engine convert an overrunning point into a
+/// contained panic, and an injected stall fault is released with a
+/// deterministic `Failed{timeout}` as soon as the budget expires.
 fn evaluate_contained(
     engine: &ProjectionEngine,
     point: &SweepPoint,
     index: usize,
     use_cache: bool,
     plan: Option<&FaultPlan>,
+    attempt: u32,
+    timeout: Option<Duration>,
 ) -> Outcome {
-    let fault = plan.and_then(|p| p.fault_at(index));
+    let fault = plan.and_then(|p| p.fault_for_attempt(index, attempt));
     match fault {
         Some(Fault::NanParam) => return injected_param_fault(index, f64::NAN),
         Some(Fault::InfParam) => return injected_param_fault(index, f64::INFINITY),
@@ -441,7 +645,15 @@ fn evaluate_contained(
                 ),
             }
         }
+        Some(Fault::Stall) => return stalled_point(index, timeout),
+        // Kill is handled (and aborts) in `resolve_point` before any
+        // evaluation; reaching it here would mean a caller bypassed the
+        // durability pipeline, so honor the crash semantics anyway.
+        Some(Fault::Kill) => std::process::abort(),
         Some(Fault::Panic) | None => {}
+    }
+    if let Some(budget) = timeout {
+        durability::arm_watchdog(budget);
     }
     install_quiet_panic_hook();
     SUPPRESS_PANIC_OUTPUT.with(|s| s.set(true));
@@ -452,10 +664,42 @@ fn evaluate_contained(
         evaluate(engine, point, use_cache)
     }));
     SUPPRESS_PANIC_OUTPUT.with(|s| s.set(false));
+    durability::disarm_watchdog();
     match caught {
         Ok(Some(node_point)) => Outcome::Feasible(node_point),
         Ok(None) => Outcome::Infeasible,
         Err(payload) => Outcome::Failed { panic_msg: panic_message(payload.as_ref()) },
+    }
+}
+
+/// Cap on an injected stall when no watchdog deadline is configured:
+/// the stall still terminates (with a distinct diagnostic) instead of
+/// hanging a run forever.
+const UNWATCHED_STALL_CAP: Duration = Duration::from_secs(30);
+
+/// An injected stall: the point hangs — sleeping in short slices, like
+/// stuck evaluation code polling a dead resource — until the watchdog
+/// budget expires and releases it as a deterministic `Failed{timeout}`.
+fn stalled_point(index: usize, timeout: Option<Duration>) -> Outcome {
+    let started = Instant::now();
+    loop {
+        match timeout {
+            Some(budget) if started.elapsed() >= budget => {
+                return Outcome::Failed {
+                    panic_msg: durability::timeout_message(index, budget),
+                }
+            }
+            None if started.elapsed() >= UNWATCHED_STALL_CAP => {
+                return Outcome::Failed {
+                    panic_msg: format!(
+                        "injected stall at point {index} ran {} s with no watchdog \
+                         deadline configured; releasing",
+                        UNWATCHED_STALL_CAP.as_secs()
+                    ),
+                }
+            }
+            _ => std::thread::sleep(Duration::from_millis(1)),
+        }
     }
 }
 

@@ -1,0 +1,519 @@
+//! Integration tests of the durable-run contract.
+//!
+//! The contract under test (see DESIGN.md "Durability & recovery"):
+//!
+//! * A run interrupted at *any* point and resumed from its journal
+//!   produces **byte-identical** figure JSON to an uninterrupted run,
+//!   at any thread count, re-evaluating only the missing points.
+//! * A journal whose final record is torn (the signature of a crash
+//!   mid-append) resumes with a warning, never an error.
+//! * A stalled point is released as `Failed{timeout}` within its
+//!   `--timeout-ms` budget instead of hanging the sweep.
+//! * Retries with backoff are deterministic across thread counts, and
+//!   replayed points restore their journaled retry accounting.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+use ucore_calibrate::WorkloadColumn;
+use ucore_core::EvalCache;
+use ucore_project::durability::{self, DurabilityConfig};
+use ucore_project::faultinject::{self, Fault, FaultPlan};
+use ucore_project::sweep::{figure_points, sweep, SweepConfig, SweepPoint};
+use ucore_project::{figures, DesignId, ProjectionEngine, Scenario};
+
+/// Durability and fault-injection state is process-global; tests that
+/// activate either must not overlap.
+static SERIALIZE: Mutex<()> = Mutex::new(());
+
+fn serialized() -> MutexGuard<'static, ()> {
+    SERIALIZE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn engine() -> ProjectionEngine {
+    ProjectionEngine::with_cache(Scenario::baseline(), Arc::new(EvalCache::new()))
+        .unwrap()
+}
+
+fn grid(engine: &ProjectionEngine) -> Vec<SweepPoint> {
+    let designs = DesignId::for_column(engine.table5(), WorkloadColumn::Fft1024);
+    figure_points(engine, &designs, WorkloadColumn::Fft1024, &[0.5, 0.999]).unwrap()
+}
+
+fn temp_journal(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "ucore-durability-it-{}-{tag}.jsonl",
+        std::process::id()
+    ));
+    let _ = fs::remove_file(&path);
+    path
+}
+
+/// Journals a complete figure-6 run and returns (figure JSON, journal
+/// bytes). The caller truncates the bytes to simulate crashes.
+fn journaled_figure6(path: &Path) -> (String, Vec<u8>) {
+    let (guard, _) = durability::activate(DurabilityConfig {
+        journal: Some(path.to_path_buf()),
+        ..Default::default()
+    })
+    .unwrap();
+    let fig = figures::figure6().unwrap();
+    drop(guard); // fsync + deactivate
+    let json = serde_json::to_string_pretty(&fig).unwrap();
+    let bytes = fs::read(path).unwrap();
+    (json, bytes)
+}
+
+/// Runs figure 6 resuming from `path` and returns (figure JSON,
+/// journal hits, retries) read from the sweep phase log.
+fn resumed_figure6(path: &Path) -> (String, u64, u64) {
+    let (guard, _) = durability::activate(DurabilityConfig {
+        journal: Some(path.to_path_buf()),
+        resume: true,
+        ..Default::default()
+    })
+    .unwrap();
+    let _ = ucore_project::sweep::drain_phase_log();
+    let fig = figures::figure6().unwrap();
+    drop(guard);
+    let phases = ucore_project::sweep::drain_phase_log();
+    let hits: u64 = phases.iter().map(|s| s.journal_hits).sum();
+    let retries: u64 = phases.iter().map(|s| s.retries).sum();
+    (serde_json::to_string_pretty(&fig).unwrap(), hits, retries)
+}
+
+/// The crash/resume equivalence matrix: interrupt a journaled figure-6
+/// run after k completed points (what a `kill@k` crash leaves behind),
+/// resume at several thread counts, and require byte-identical JSON
+/// with exactly k points answered from the journal.
+#[test]
+fn truncated_journal_resume_is_byte_identical_at_all_thread_counts() {
+    let _lock = serialized();
+    let baseline = serde_json::to_string_pretty(&figures::figure6().unwrap()).unwrap();
+
+    let path = temp_journal("equivalence");
+    let (journaled, bytes) = journaled_figure6(&path);
+    assert_eq!(journaled, baseline, "journaling must not perturb output");
+    let lines: Vec<&[u8]> = bytes.split_inclusive(|&b| b == b'\n').collect();
+    let total = lines.len();
+    assert!(total >= 100, "figure 6 sweeps >= 100 points, got {total}");
+
+    for crash_after in [0, 1, 7, 40, total - 1, total] {
+        let partial: Vec<u8> = lines[..crash_after].concat();
+        for threads in ["1", "2", "4", "8"] {
+            fs::write(&path, &partial).unwrap();
+            std::env::set_var("UCORE_SWEEP_THREADS", threads);
+            let (json, hits, _) = resumed_figure6(&path);
+            std::env::remove_var("UCORE_SWEEP_THREADS");
+            assert_eq!(
+                json, baseline,
+                "resume after {crash_after} records at {threads} threads"
+            );
+            assert_eq!(
+                hits, crash_after as u64,
+                "exactly the journaled points replay ({crash_after} records, \
+                 {threads} threads)"
+            );
+        }
+    }
+    let _ = fs::remove_file(&path);
+}
+
+/// A resumed journal is *extended*: after resuming a half-complete run,
+/// the journal holds every point, and a second resume replays all of
+/// them (zero re-evaluations).
+#[test]
+fn resume_completes_the_journal_for_the_next_resume() {
+    let _lock = serialized();
+    let path = temp_journal("extend");
+    let (_, bytes) = journaled_figure6(&path);
+    let lines: Vec<&[u8]> = bytes.split_inclusive(|&b| b == b'\n').collect();
+    let total = lines.len();
+    fs::write(&path, lines[..total / 2].concat()).unwrap();
+
+    let (first, first_hits, _) = resumed_figure6(&path);
+    assert_eq!(first_hits, (total / 2) as u64);
+    let (second, second_hits, _) = resumed_figure6(&path);
+    assert_eq!(first, second);
+    assert_eq!(second_hits, total as u64, "second resume is fully replayed");
+    let _ = fs::remove_file(&path);
+}
+
+/// A torn final record — the bytes a crash mid-append leaves — is
+/// skipped (that point re-evaluates); the resumed output is still
+/// byte-identical.
+#[test]
+fn torn_tail_journal_resumes_cleanly() {
+    let _lock = serialized();
+    let baseline = serde_json::to_string_pretty(&figures::figure6().unwrap()).unwrap();
+    let path = temp_journal("torn");
+    let (_, bytes) = journaled_figure6(&path);
+    // Tear the last record: keep everything but its final 7 bytes
+    // (checksummed payload and the terminating newline).
+    fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+
+    let (_, report) = ucore_project::journal::replay(&path).unwrap();
+    assert!(report.torn_tail, "the tear must be detected");
+
+    let (json, hits, _) = resumed_figure6(&path);
+    assert_eq!(json, baseline);
+    let full_records = bytes.iter().filter(|&&b| b == b'\n').count();
+    assert_eq!(hits, (full_records - 1) as u64, "torn record re-evaluates");
+    let _ = fs::remove_file(&path);
+}
+
+/// A journal recorded for a *different* grid must not poison a run: its
+/// records are stale (fingerprint mismatch) and every point
+/// re-evaluates.
+#[test]
+fn stale_journal_records_are_ignored_not_replayed() {
+    let _lock = serialized();
+    let e = engine();
+    let points = grid(&e);
+    let path = temp_journal("stale");
+
+    // Journal a figure-8 run, then "resume" figure 6's grid from it.
+    {
+        let (guard, _) = durability::activate(DurabilityConfig {
+            journal: Some(path.clone()),
+            ..Default::default()
+        })
+        .unwrap();
+        figures::figure8().unwrap();
+        drop(guard);
+    }
+    let stale_before = durability::durability_totals().journal_stale;
+    let (guard, _) = durability::activate(DurabilityConfig {
+        journal: Some(path.clone()),
+        resume: true,
+        ..Default::default()
+    })
+    .unwrap();
+    let (results, stats) = sweep(&e, points.clone(), &SweepConfig::sequential());
+    drop(guard);
+    assert_eq!(stats.journal_hits, 0, "foreign journal must not answer points");
+    assert!(
+        durability::durability_totals().journal_stale > stale_before,
+        "mismatching fingerprints are counted as stale"
+    );
+    let (reference, _) = sweep(&e, points, &SweepConfig::sequential());
+    for (a, b) in results.iter().zip(&reference) {
+        assert_eq!(a.outcome, b.outcome, "index {}", a.index);
+    }
+    let _ = fs::remove_file(&path);
+}
+
+/// `stall@i` under a watchdog deadline: the stalled point is released
+/// as `Failed{timeout}` within (approximately) the budget, every other
+/// point is untouched, and the result is thread-count independent.
+#[test]
+fn stalled_point_fails_with_timeout_within_budget() {
+    let _lock = serialized();
+    let e = engine();
+    let points = grid(&e);
+    let k = 5;
+    let budget = Duration::from_millis(120);
+    let (reference, _) = sweep(&e, points.clone(), &SweepConfig::sequential());
+
+    for threads in [1, 4] {
+        let (dur_guard, _) = durability::activate(DurabilityConfig {
+            timeout: Some(budget),
+            ..Default::default()
+        })
+        .unwrap();
+        let fault_guard = faultinject::activate(FaultPlan::new().with(k, Fault::Stall));
+        let started = std::time::Instant::now();
+        let (results, stats) = sweep(
+            &e,
+            points.clone(),
+            &SweepConfig { threads: Some(threads), use_cache: true },
+        );
+        let elapsed = started.elapsed();
+        drop(fault_guard);
+        drop(dur_guard);
+
+        assert_eq!(stats.points_failed, 1, "threads = {threads}");
+        assert_eq!(
+            results[k].outcome.failure_message(),
+            Some(format!("watchdog timeout: point {k} exceeded its 120 ms deadline")
+                .as_str()),
+            "threads = {threads}"
+        );
+        assert!(
+            elapsed < budget + Duration::from_secs(5),
+            "the stall must not hang the sweep (took {elapsed:?})"
+        );
+        for (r, i) in reference.iter().zip(&results) {
+            if i.index != k {
+                assert_eq!(r.outcome, i.outcome, "index {}, threads {threads}", r.index);
+            }
+        }
+    }
+}
+
+/// A transient fault (`panic@kx1`) recovers under `--retries`: the
+/// point succeeds on its second attempt, with identical outcomes and
+/// identical retry accounting at every thread count.
+#[test]
+fn transient_fault_recovers_via_retry_deterministically() {
+    let _lock = serialized();
+    let e = engine();
+    let points = grid(&e);
+    let k = 3;
+    let (reference, _) = sweep(&e, points.clone(), &SweepConfig::sequential());
+
+    for threads in [1, 2, 4, 8] {
+        let (dur_guard, _) = durability::activate(DurabilityConfig {
+            retries: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        let fault_guard =
+            faultinject::activate(FaultPlan::new().with_transient(k, Fault::Panic, 1));
+        let (results, stats) = sweep(
+            &e,
+            points.clone(),
+            &SweepConfig { threads: Some(threads), use_cache: true },
+        );
+        drop(fault_guard);
+        drop(dur_guard);
+
+        assert_eq!(stats.points_failed, 0, "retry recovered, threads = {threads}");
+        assert_eq!(stats.retries, 1, "exactly one retry, threads = {threads}");
+        for (r, i) in reference.iter().zip(&results) {
+            assert_eq!(r.outcome, i.outcome, "index {}, threads {threads}", r.index);
+        }
+    }
+}
+
+/// A persistent fault exhausts its retry budget and stays `Failed`,
+/// consuming exactly `retries` attempts.
+#[test]
+fn persistent_fault_exhausts_the_retry_budget() {
+    let _lock = serialized();
+    let e = engine();
+    let points = grid(&e);
+    let k = 3;
+    let (dur_guard, _) = durability::activate(DurabilityConfig {
+        retries: 2,
+        ..Default::default()
+    })
+    .unwrap();
+    let fault_guard = faultinject::activate(FaultPlan::new().with(k, Fault::Panic));
+    let (results, stats) = sweep(&e, points, &SweepConfig::sequential());
+    drop(fault_guard);
+    drop(dur_guard);
+
+    assert_eq!(stats.points_failed, 1);
+    assert_eq!(stats.retries, 2, "both retries were consumed");
+    assert_eq!(
+        results[k].outcome.failure_message(),
+        Some(format!("injected panic at point {k}").as_str())
+    );
+}
+
+/// Replayed points restore their journaled retry counts, so the health
+/// accounting of a resumed run matches the uninterrupted run exactly.
+#[test]
+fn resume_restores_retry_accounting_from_the_journal() {
+    let _lock = serialized();
+    let e = engine();
+    let points = grid(&e);
+    let k = 3;
+    let path = temp_journal("retry-replay");
+
+    // Original run: transient fault at k, one retry consumed, journaled.
+    let (dur_guard, _) = durability::activate(DurabilityConfig {
+        journal: Some(path.clone()),
+        retries: 2,
+        ..Default::default()
+    })
+    .unwrap();
+    let fault_guard =
+        faultinject::activate(FaultPlan::new().with_transient(k, Fault::Panic, 1));
+    let (original, original_stats) = sweep(&e, points.clone(), &SweepConfig::sequential());
+    drop(fault_guard);
+    drop(dur_guard);
+    assert_eq!(original_stats.retries, 1);
+
+    // Resume: everything replays — including the retry count — with no
+    // fault plan active and no re-evaluation.
+    let (dur_guard, _) = durability::activate(DurabilityConfig {
+        journal: Some(path.clone()),
+        resume: true,
+        retries: 2,
+        ..Default::default()
+    })
+    .unwrap();
+    let (resumed, resumed_stats) = sweep(&e, points, &SweepConfig::sequential());
+    drop(dur_guard);
+
+    assert_eq!(resumed_stats.journal_hits as usize, resumed.len());
+    assert_eq!(
+        resumed_stats.retries, original_stats.retries,
+        "journaled retry accounting is restored"
+    );
+    for (a, b) in original.iter().zip(&resumed) {
+        assert_eq!(a.outcome, b.outcome, "index {}", a.index);
+    }
+    let _ = fs::remove_file(&path);
+}
+
+/// Backoff delays are pure functions of (index, attempt): identical
+/// across calls, growing exponentially, jittered within [raw/2, raw).
+#[test]
+fn backoff_schedule_is_reproducible() {
+    for index in [0usize, 3, 99] {
+        for attempt in 0..6u32 {
+            assert_eq!(
+                durability::backoff_delay(index, attempt),
+                durability::backoff_delay(index, attempt),
+            );
+        }
+    }
+}
+
+mod journal_roundtrip {
+    //! Property tests: the journal codec preserves every `Outcome`
+    //! variant — including `Failed{panic_msg}` with arbitrary hostile
+    //! strings and `Feasible` points with arbitrary f64 bit patterns —
+    //! exactly, through encode → append → replay.
+
+    use proptest::prelude::*;
+    use std::fs;
+    use ucore_core::Limiter;
+    use ucore_devices::TechNode;
+    use ucore_project::journal::{
+        self, JournalRecord, JournalWriter, ReplayLookup,
+    };
+    use ucore_project::sweep::Outcome;
+    use ucore_project::NodePoint;
+
+    /// Arbitrary (often hostile) text: separators, escapes, quotes,
+    /// multi-byte unicode, and plain ASCII.
+    fn panic_text() -> impl Strategy<Value = String> {
+        prop::collection::vec(
+            prop::sample::select(vec![
+                '\t', '\n', '\r', '\\', '"', ' ', 'a', 'Z', '0', '@', '判', '€', '🚀',
+                '\u{0}', '\u{7f}',
+            ]),
+            24,
+        )
+        .prop_map(|chars| chars.into_iter().collect())
+    }
+
+    fn any_f64_bits() -> impl Strategy<Value = f64> {
+        (0u64..=u64::MAX).prop_map(f64::from_bits)
+    }
+
+    fn any_node() -> impl Strategy<Value = TechNode> {
+        prop::sample::select(TechNode::ALL.to_vec())
+    }
+
+    fn any_limiter() -> impl Strategy<Value = Limiter> {
+        prop::sample::select(vec![Limiter::Area, Limiter::Power, Limiter::Bandwidth])
+    }
+
+    fn bits_equal(a: &Outcome, b: &Outcome) -> bool {
+        match (a, b) {
+            (Outcome::Feasible(x), Outcome::Feasible(y)) => {
+                x.node == y.node
+                    && x.limiter == y.limiter
+                    && x.speedup.to_bits() == y.speedup.to_bits()
+                    && x.r.to_bits() == y.r.to_bits()
+                    && x.n.to_bits() == y.n.to_bits()
+                    && x.energy.to_bits() == y.energy.to_bits()
+            }
+            (Outcome::Infeasible, Outcome::Infeasible) => true,
+            (Outcome::Failed { panic_msg: x }, Outcome::Failed { panic_msg: y }) => {
+                x == y
+            }
+            _ => false,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Failed outcomes with arbitrary panic strings survive the
+        /// file round trip byte-for-byte.
+        #[test]
+        fn failed_outcomes_round_trip(
+            msg in panic_text(),
+            seq in 0u64..8,
+            index in 0usize..512,
+            retries in 0u32..5,
+        ) {
+            let rec = JournalRecord {
+                sweep_seq: seq,
+                index,
+                fingerprint: 0x1234_5678_9abc_def0,
+                retries,
+                outcome: Outcome::Failed { panic_msg: msg.clone() },
+            };
+            let line = journal::encode_record(&rec);
+            let back = journal::decode_record(line.trim_end_matches('\n'), 1)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(&back.outcome.failure_message(), &Some(msg.as_str()));
+            prop_assert_eq!(back.retries, retries);
+            prop_assert_eq!(back.sweep_seq, seq);
+            prop_assert_eq!(back.index, index);
+        }
+
+        /// Feasible outcomes with arbitrary f64 *bit patterns* (NaNs,
+        /// infinities, subnormals, -0.0) and every node/limiter survive
+        /// an actual write-to-disk → replay cycle exactly.
+        #[test]
+        fn all_outcome_variants_survive_the_file_round_trip(
+            speedup in any_f64_bits(),
+            r in any_f64_bits(),
+            n in any_f64_bits(),
+            energy in any_f64_bits(),
+            node in any_node(),
+            limiter in any_limiter(),
+            msg in panic_text(),
+        ) {
+            let outcomes = [
+                Outcome::Feasible(NodePoint { node, speedup, limiter, r, n, energy }),
+                Outcome::Infeasible,
+                Outcome::Failed { panic_msg: msg },
+            ];
+            let path = std::env::temp_dir().join(format!(
+                "ucore-journal-prop-{}-{:x}.jsonl",
+                std::process::id(),
+                speedup.to_bits() ^ r.to_bits(),
+            ));
+            {
+                let mut w = JournalWriter::create(&path)
+                    .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                for (i, outcome) in outcomes.iter().enumerate() {
+                    w.append(&JournalRecord {
+                        sweep_seq: 0,
+                        index: i,
+                        fingerprint: 0xabcd ^ i as u64,
+                        retries: i as u32,
+                        outcome: outcome.clone(),
+                    })
+                    .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                }
+            }
+            let (map, report) = journal::replay(&path)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            let _ = fs::remove_file(&path);
+            prop_assert_eq!(report.records, outcomes.len());
+            prop_assert!(!report.torn_tail);
+            for (i, outcome) in outcomes.iter().enumerate() {
+                let hit = map.lookup(0, i, 0xabcd ^ i as u64);
+                let ReplayLookup::Hit(rec) = hit else {
+                    return Err(TestCaseError::fail(format!("missing record {i}")));
+                };
+                prop_assert!(
+                    bits_equal(&rec.outcome, outcome),
+                    "outcome {i} mutated: {:?} != {:?}", rec.outcome, outcome
+                );
+                prop_assert_eq!(rec.retries, i as u32);
+            }
+        }
+    }
+}

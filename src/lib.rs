@@ -18,7 +18,9 @@
 //! * [`itrs`] — the ITRS 2009 scaling roadmap (Table 6, Figure 5).
 //! * [`calibrate`] — derivation of U-core `(µ, φ)` parameters (Table 5).
 //! * [`project`] — the scaling projections (Figures 6–10 and the §6.2
-//!   alternative scenarios).
+//!   alternative scenarios), with a durable sweep orchestrator:
+//!   checkpoint/resume run journal, per-point watchdog deadlines,
+//!   deterministic retry-with-backoff, and crash-safe atomic exports.
 //! * [`report`] — ASCII tables/charts and CSV export used by the
 //!   reproduction binaries.
 //! * [`error`] — the workspace-wide error taxonomy: [`UcoreError`]
