@@ -29,7 +29,7 @@ fn bench(c: &mut Criterion) {
 
     // Regenerate the table once so the bench run leaves the artifact in
     // its log, as the harness contract requires.
-    println!("{}", tables::table1());
+    println!("{}", tables::table1().expect("table 1 renders"));
 }
 
 criterion_group!(benches, bench);

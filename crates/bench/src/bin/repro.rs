@@ -358,7 +358,7 @@ fn render(command: &Command) -> Result<String, Box<dyn std::error::Error>> {
         Command::Experiments => ucore_bench::experiments::render()?,
         Command::Table(n) => {
             let body = match n.as_str() {
-                "1" => tables::table1(),
+                "1" => tables::table1()?,
                 "2" => tables::table2(),
                 "3" => tables::table3(),
                 "4" => tables::table4(),

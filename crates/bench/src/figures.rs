@@ -75,12 +75,14 @@ pub fn figure3() -> String {
     for col in 1..=7 {
         table.align(col, ucore_report::Align::Right);
     }
+    const FFT_SIZES: [(u32, ucore_workloads::Workload); 3] = [
+        (6, ucore_workloads::Workload::fft_const::<64>()),
+        (10, ucore_workloads::Workload::fft_const::<1024>()),
+        (14, ucore_workloads::Workload::fft_const::<16384>()),
+    ];
     for (device, _) in FFT_DEVICES {
-        for log2 in [6u32, 10, 14] {
-            let Ok(m) = lab.measure(
-                device,
-                ucore_workloads::Workload::fft(1usize << log2).expect("power of two"),
-            ) else {
+        for (log2, workload) in FFT_SIZES {
+            let Ok(m) = lab.measure(device, workload) else {
                 continue;
             };
             let b = m.breakdown;

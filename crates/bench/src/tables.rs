@@ -15,7 +15,12 @@ fn fmt(v: f64, digits: usize) -> String {
 /// Table 1: the bounds on `n` and `r`, shown symbolically and evaluated
 /// at a worked example (`A = 100`, `P = 10`, `B = 20`, `r = 4`,
 /// `µ = 5`, `φ = 0.5`).
-pub fn table1() -> String {
+///
+/// # Errors
+///
+/// Propagates model errors from the worked example (none occur with
+/// these constants).
+pub fn table1() -> Result<String, Box<dyn std::error::Error>> {
     let mut t = Table::new(vec![
         "bound".into(),
         "Symmetric".into(),
@@ -54,8 +59,8 @@ pub fn table1() -> String {
     ]);
 
     // The numeric cross-check.
-    let budgets = Budgets::new(100.0, 10.0, 20.0).expect("example budgets are valid");
-    let u = UCore::new(5.0, 0.5).expect("example u-core is valid");
+    let budgets = Budgets::new(100.0, 10.0, 20.0)?;
+    let u = UCore::new(5.0, 0.5)?;
     let specs = [
         ("Symmetric", ChipSpec::symmetric()),
         ("Asym-offload", ChipSpec::asymmetric_offload()),
@@ -73,7 +78,7 @@ pub fn table1() -> String {
         numeric.align(col, Align::Right);
     }
     for (name, spec) in specs {
-        let b = BoundSet::compute(&spec, &budgets, 4.0).expect("example is feasible");
+        let b = BoundSet::compute(&spec, &budgets, 4.0)?;
         numeric.row(vec![
             name.into(),
             fmt(b.n_area(), 1),
@@ -83,10 +88,10 @@ pub fn table1() -> String {
             b.limiter().to_string(),
         ]);
     }
-    format!(
+    Ok(format!(
         "Table 1: bounds on area, power, and bandwidth\n{t}\n\
          Worked example (A=100, P=10, B=20, r=4, mu=5, phi=0.5):\n{numeric}"
-    )
+    ))
 }
 
 /// Table 2: the device summary.
@@ -334,7 +339,7 @@ mod tests {
 
     #[test]
     fn table1_contains_bounds_and_example() {
-        let t = table1();
+        let t = table1().unwrap();
         assert!(t.contains("n <= P/phi + r"));
         assert!(t.contains("limiter"));
         assert!(t.contains("bandwidth")); // the het example is bw-limited

@@ -62,12 +62,7 @@ pub fn table5_with_conventions(
 pub fn mu_ranking(rows: &[Table5Row], column: WorkloadColumn) -> Vec<DeviceId> {
     let mut in_column: Vec<&Table5Row> =
         rows.iter().filter(|r| r.column == column).collect();
-    in_column.sort_by(|a, b| {
-        b.ucore
-            .mu()
-            .partial_cmp(&a.ucore.mu())
-            .expect("mu values are finite")
-    });
+    in_column.sort_by(|a, b| b.ucore.mu().total_cmp(&a.ucore.mu()));
     in_column.iter().map(|r| r.device).collect()
 }
 

@@ -39,11 +39,11 @@ impl WorkloadColumn {
             // The paper's MMM bandwidth characterization assumes square
             // inputs blocked at N = 128 (footnote 3); the measured
             // observables do not depend on the size parameter.
-            WorkloadColumn::Mmm => Workload::mmm(128).expect("128 is valid"),
+            WorkloadColumn::Mmm => Workload::mmm_const::<128>(),
             WorkloadColumn::Bs => Workload::black_scholes(),
-            WorkloadColumn::Fft64 => Workload::fft(64).expect("64 is valid"),
-            WorkloadColumn::Fft1024 => Workload::fft(1024).expect("1024 is valid"),
-            WorkloadColumn::Fft16384 => Workload::fft(16384).expect("16384 is valid"),
+            WorkloadColumn::Fft64 => Workload::fft_const::<64>(),
+            WorkloadColumn::Fft1024 => Workload::fft_const::<1024>(),
+            WorkloadColumn::Fft16384 => Workload::fft_const::<16384>(),
         }
     }
 

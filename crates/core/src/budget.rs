@@ -36,6 +36,7 @@ impl Budgets {
     ///
     /// Returns [`ModelError::NonPositive`] unless all three are positive
     /// and finite.
+    // ucore-lint: allow(raw-f64-api): Budgets is itself the validated ingress boundary where raw (A, P, B) readings become typed model state
     pub fn new(area: f64, power: f64, bandwidth: f64) -> Result<Self, ModelError> {
         ensure_positive("area", area)?;
         ensure_positive("power", power)?;
@@ -49,6 +50,7 @@ impl Budgets {
     /// # Errors
     ///
     /// Returns [`ModelError::NonPositive`] if `area` is not positive.
+    // ucore-lint: allow(raw-f64-api): validated ingress boundary, same contract as `Budgets::new`
     pub fn area_only(area: f64) -> Result<Self, ModelError> {
         Budgets::new(area, f64::MAX / 4.0, f64::MAX / 4.0)
     }
@@ -73,6 +75,7 @@ impl Budgets {
     /// # Errors
     ///
     /// Returns [`ModelError::NonPositive`] if `area` is not positive.
+    // ucore-lint: allow(raw-f64-api): validated ingress boundary, same contract as `Budgets::new`
     pub fn with_area(&self, area: f64) -> Result<Self, ModelError> {
         Budgets::new(area, self.power, self.bandwidth)
     }
@@ -82,6 +85,7 @@ impl Budgets {
     /// # Errors
     ///
     /// Returns [`ModelError::NonPositive`] if `power` is not positive.
+    // ucore-lint: allow(raw-f64-api): validated ingress boundary, same contract as `Budgets::new`
     pub fn with_power(&self, power: f64) -> Result<Self, ModelError> {
         Budgets::new(self.area, power, self.bandwidth)
     }
@@ -91,6 +95,7 @@ impl Budgets {
     /// # Errors
     ///
     /// Returns [`ModelError::NonPositive`] if `bandwidth` is not positive.
+    // ucore-lint: allow(raw-f64-api): validated ingress boundary, same contract as `Budgets::new`
     pub fn with_bandwidth(&self, bandwidth: f64) -> Result<Self, ModelError> {
         Budgets::new(self.area, self.power, bandwidth)
     }

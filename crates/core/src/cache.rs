@@ -42,12 +42,16 @@ pub struct F64Key(u64);
 impl F64Key {
     /// The canonical key for `x`.
     pub fn new(x: f64) -> Self {
-        if x == 0.0 {
-            F64Key(0) // collapses -0.0 and +0.0
+        // Exact-bits intent, so the comparison is on bits too: -0.0
+        // collapses onto +0.0 (whose bit pattern is 0), and every NaN
+        // payload collapses onto the canonical quiet NaN.
+        let bits = x.to_bits();
+        if bits == (-0.0f64).to_bits() {
+            F64Key(0)
         } else if x.is_nan() {
             F64Key(f64::NAN.to_bits())
         } else {
-            F64Key(x.to_bits())
+            F64Key(bits)
         }
     }
 
@@ -240,6 +244,22 @@ mod tests {
         assert_eq!(F64Key::new(0.0), F64Key::new(-0.0));
         assert_eq!(F64Key::new(f64::NAN), F64Key::new(-f64::NAN));
         assert_ne!(F64Key::new(1.0), F64Key::new(1.0 + f64::EPSILON));
+    }
+
+    #[test]
+    fn f64key_unifies_every_nan_payload() {
+        // Regression for the bits-based rewrite: every NaN bit pattern —
+        // quiet or signaling, any payload, either sign — must collapse to
+        // the one canonical NaN key, while non-NaN patterns stay exact.
+        for bits in [0x7ff8_0000_dead_beefu64, 0x7ff0_0000_0000_0001, 0xfff8_1234_5678_9abc] {
+            let nan = f64::from_bits(bits);
+            assert!(nan.is_nan());
+            assert_eq!(F64Key::new(nan), F64Key::new(f64::NAN), "payload {bits:#x}");
+        }
+        // -0.0 folds into +0.0 yet stays distinct from the smallest
+        // subnormal one bit away.
+        assert_eq!(F64Key::new(-0.0), F64Key::new(0.0));
+        assert_ne!(F64Key::new(0.0), F64Key::new(f64::from_bits(1)));
     }
 
     #[test]

@@ -134,6 +134,7 @@ impl SerialPowerLaw {
     }
 
     /// Power consumed by a core delivering performance `perf` (BCE units).
+    // ucore-lint: allow(raw-f64-api): perf here is the dimensionless BCE-normalized ratio the power law is defined over, not a measured quantity
     pub fn power_of_perf(&self, perf: f64) -> f64 {
         perf.powf(self.alpha)
     }

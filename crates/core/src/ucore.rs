@@ -50,6 +50,7 @@ impl UCore {
     ///
     /// Returns [`ModelError::NonPositive`] unless both parameters are
     /// positive and finite.
+    // ucore-lint: allow(raw-f64-api): UCore is the validated ingress boundary where raw Table-5 calibration values become typed (mu, phi) state
     pub fn new(mu: f64, phi: f64) -> Result<Self, ModelError> {
         ensure_positive("mu", mu)?;
         ensure_positive("phi", phi)?;

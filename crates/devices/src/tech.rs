@@ -123,9 +123,7 @@ impl PartialOrd for TechNode {
 impl Ord for TechNode {
     /// Orders by feature size: a *smaller* (newer) node compares as less.
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.feature_nm()
-            .partial_cmp(&other.feature_nm())
-            .expect("feature sizes are finite")
+        self.feature_nm().total_cmp(&other.feature_nm())
     }
 }
 

@@ -212,6 +212,7 @@ impl Roadmap {
 
     /// A copy with a different core power budget in watts — scenarios 4
     /// (200 W) and 5 (10 W).
+    // ucore-lint: allow(raw-f64-api): raw watts is the external ITRS roadmap input; the `_w` suffix carries the unit at this ingress boundary
     pub fn with_power_budget_w(&self, watts: f64) -> Roadmap {
         let nodes = self
             .nodes

@@ -1,0 +1,228 @@
+//! Per-file analysis context shared by all rules.
+//!
+//! Wraps the token stream with the two pieces of derived structure every
+//! rule needs: navigation between *code* tokens (skipping comments) and
+//! the set of tokens inside `#[cfg(test)]`-gated items, which all rules
+//! exempt (test code may unwrap, compare floats exactly, and so on).
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A lexed file plus derived structure, handed to each rule.
+pub struct FileContext<'a> {
+    /// Workspace-relative path with `/` separators (e.g.
+    /// `crates/core/src/cache.rs`).
+    pub rel_path: String,
+    /// The full source text.
+    pub src: &'a str,
+    /// All tokens, comments included.
+    pub tokens: Vec<Token<'a>>,
+    /// Parallel to `tokens`: true when the token is inside a
+    /// `#[cfg(test)]`-gated item (including the attribute itself).
+    pub in_test: Vec<bool>,
+}
+
+impl<'a> FileContext<'a> {
+    /// Lexes `src` and computes the derived structure.
+    pub fn new(rel_path: impl Into<String>, src: &'a str) -> Self {
+        let tokens = lex(src);
+        let in_test = test_region_flags(&tokens);
+        FileContext { rel_path: rel_path.into(), src, tokens, in_test }
+    }
+
+    /// The index of the nearest non-comment token before `i`.
+    pub fn prev_code(&self, i: usize) -> Option<usize> {
+        self.tokens[..i].iter().rposition(|t| !t.is_comment())
+    }
+
+    /// The index of the nearest non-comment token after `i`.
+    pub fn next_code(&self, i: usize) -> Option<usize> {
+        self.tokens[i + 1..]
+            .iter()
+            .position(|t| !t.is_comment())
+            .map(|off| i + 1 + off)
+    }
+
+    /// True when the code token at `i` is the ident `text`.
+    pub fn is_ident(&self, i: usize, text: &str) -> bool {
+        let t = &self.tokens[i];
+        t.kind == TokenKind::Ident && t.text == text
+    }
+
+    /// True when the code token at `i` is the punctuation `text`.
+    pub fn is_punct(&self, i: usize, text: &str) -> bool {
+        let t = &self.tokens[i];
+        t.kind == TokenKind::Punct && t.text == text
+    }
+}
+
+/// Computes which tokens sit inside `#[cfg(test)]`-gated items.
+///
+/// Recognizes the exact attribute form `#[cfg(test)]` (the workspace
+/// convention) and marks from the attribute through the end of the item
+/// it gates: the matching `}` of the item's body, or the terminating `;`
+/// for body-less items. Unterminated input marks to end-of-file rather
+/// than failing.
+fn test_region_flags(tokens: &[Token<'_>]) -> Vec<bool> {
+    let mut flags = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some(attr_end) = match_cfg_test_attr(tokens, i) {
+            let item_end = item_end_after(tokens, attr_end + 1);
+            for flag in flags.iter_mut().take(item_end + 1).skip(i) {
+                *flag = true;
+            }
+            i = item_end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+/// When the code tokens starting at `i` spell `#[cfg(test)]`, returns
+/// the index of the closing `]`.
+fn match_cfg_test_attr(tokens: &[Token<'_>], i: usize) -> Option<usize> {
+    const PATTERN: [&str; 7] = ["#", "[", "cfg", "(", "test", ")", "]"];
+    let mut at = i;
+    for (step, expected) in PATTERN.iter().enumerate() {
+        // The first token must be at `i` exactly; later ones skip comments.
+        if step > 0 {
+            at = next_code_index(tokens, at)?;
+        }
+        let t = tokens.get(at)?;
+        if t.is_comment() || t.text != *expected {
+            return None;
+        }
+        if step + 1 == PATTERN.len() {
+            return Some(at);
+        }
+    }
+    None
+}
+
+fn next_code_index(tokens: &[Token<'_>], i: usize) -> Option<usize> {
+    tokens[i + 1..]
+        .iter()
+        .position(|t| !t.is_comment())
+        .map(|off| i + 1 + off)
+}
+
+/// Finds the last token of the item starting at/after `start`: the `}`
+/// matching the first `{` met outside any paren/bracket nesting, or the
+/// first `;` at zero nesting. Runs to the last token on malformed input.
+fn item_end_after(tokens: &[Token<'_>], start: usize) -> usize {
+    let mut depth_paren = 0i64;
+    let mut depth_bracket = 0i64;
+    let mut i = start;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if !t.is_comment() && t.kind == TokenKind::Punct {
+            match t.text {
+                "(" => depth_paren += 1,
+                ")" => depth_paren -= 1,
+                "[" => depth_bracket += 1,
+                "]" => depth_bracket -= 1,
+                ";" if depth_paren == 0 && depth_bracket == 0 => return i,
+                "{" if depth_paren == 0 && depth_bracket == 0 => {
+                    return matching_brace(tokens, i);
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// The index of the `}` matching the `{` at `open` (or the last token).
+fn matching_brace(tokens: &[Token<'_>], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if !t.is_comment() && t.kind == TokenKind::Punct {
+            match t.text {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags_for(src: &str) -> (FileContext<'_>, Vec<(String, bool)>) {
+        let ctx = FileContext::new("x.rs", src);
+        let pairs = ctx
+            .tokens
+            .iter()
+            .zip(&ctx.in_test)
+            .map(|(t, &f)| (t.text.to_string(), f))
+            .collect();
+        (ctx, pairs)
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn b() { y.unwrap(); } }\nfn c() {}";
+        let (_, pairs) = flags_for(src);
+        let unwraps: Vec<bool> = pairs
+            .iter()
+            .filter(|(t, _)| t == "unwrap")
+            .map(|&(_, f)| f)
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+        // Code after the gated mod is not marked.
+        assert!(pairs.iter().any(|(t, f)| t == "c" && !f));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_marked() {
+        let (_, pairs) = flags_for("#[cfg(not(test))]\nfn a() { x.unwrap(); }");
+        assert!(pairs.iter().all(|&(_, f)| !f));
+    }
+
+    #[test]
+    fn cfg_test_fn_and_use_forms() {
+        let src = "#[cfg(test)] use foo::bar;\n#[cfg(test)] fn helper() -> u8 { 1 }\nfn live() {}";
+        let (_, pairs) = flags_for(src);
+        assert!(pairs.iter().any(|(t, f)| t == "bar" && *f));
+        assert!(pairs.iter().any(|(t, f)| t == "helper" && *f));
+        assert!(pairs.iter().any(|(t, f)| t == "live" && !f));
+    }
+
+    #[test]
+    fn nested_braces_inside_test_mod() {
+        let src = "#[cfg(test)]\nmod t { fn a() { if x { y(); } } }\nfn after() {}";
+        let (_, pairs) = flags_for(src);
+        assert!(pairs.iter().any(|(t, f)| t == "after" && !f));
+        assert!(pairs.iter().any(|(t, f)| t == "y" && *f));
+    }
+
+    #[test]
+    fn code_navigation_skips_comments() {
+        let ctx = FileContext::new("x.rs", "a /* c */ == b");
+        let eq = ctx
+            .tokens
+            .iter()
+            .position(|t| t.text == "==")
+            .expect("token present");
+        let prev = ctx.prev_code(eq).expect("has prev");
+        let next = ctx.next_code(eq).expect("has next");
+        assert_eq!(ctx.tokens[prev].text, "a");
+        assert_eq!(ctx.tokens[next].text, "b");
+    }
+
+    #[test]
+    fn unterminated_test_mod_marks_to_eof() {
+        let (_, pairs) = flags_for("#[cfg(test)]\nmod t { fn a() { x.unwrap();");
+        assert!(pairs.iter().all(|&(_, f)| f));
+    }
+}

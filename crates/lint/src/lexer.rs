@@ -1,0 +1,587 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The lint rules need exactly enough lexical structure to tell *code*
+//! apart from *comments and literals*: a `==` inside a string, a
+//! `unwrap` inside a doc example, or an `unsafe` inside a nested block
+//! comment must never produce a finding. The lexer therefore recognizes
+//! the full Rust literal grammar — nested block comments, raw strings
+//! with arbitrary `#` fences, byte/C string prefixes, char literals
+//! containing `"` or `'`, lifetimes — but deliberately performs no
+//! parsing beyond tokens. It never fails: unterminated or malformed
+//! input degrades to [`TokenKind::Unknown`] tokens or to a literal that
+//! extends to end-of-file, and lexing arbitrary bytes (after lossy
+//! UTF-8 conversion) is guaranteed panic-free (see the proptest suite).
+
+/// The lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw `r#ident` forms).
+    Ident,
+    /// A lifetime such as `'a` (not a char literal).
+    Lifetime,
+    /// An integer literal, with any suffix.
+    Int,
+    /// A float literal, with any suffix.
+    Float,
+    /// A string literal: `"…"`, `b"…"`, or `c"…"`.
+    Str,
+    /// A raw string literal: `r"…"`, `r#"…"#`, `br##"…"##`, `cr"…"`.
+    RawStr,
+    /// A char or byte-char literal: `'x'`, `b'\n'`, `'"'`.
+    Char,
+    /// A non-doc line comment `// …` (text includes the slashes).
+    LineComment,
+    /// A doc comment: `/// …`, `//! …`, `/** … */`, or `/*! … */`.
+    DocComment,
+    /// A non-doc block comment `/* … */`, nesting handled.
+    BlockComment,
+    /// Punctuation. Multi-char operators the rules care about (`==`,
+    /// `!=`, `->`, `::`, `..`, `=>`, `<=`, `>=`, `&&`, `||`) are single
+    /// tokens; everything else is one char per token.
+    Punct,
+    /// A byte sequence the lexer does not understand; skipped by rules.
+    Unknown,
+}
+
+/// One token with its source span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The lexical class.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: &'a str,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based column (in chars) of the token's first byte.
+    pub col: u32,
+}
+
+impl<'a> Token<'a> {
+    /// True for comment tokens of any flavor.
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment | TokenKind::BlockComment | TokenKind::DocComment
+        )
+    }
+}
+
+/// Multi-char operators emitted as single tokens, longest first.
+const OPERATORS: [&str; 11] =
+    ["..=", "==", "!=", "->", "=>", "::", "..", "<=", ">=", "&&", "||"];
+
+struct Cursor<'a> {
+    src: &'a str,
+    chars: Vec<(usize, char)>,
+    /// Index into `chars`.
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor { src, chars: src.char_indices().collect(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn byte_offset(&self) -> usize {
+        self.chars.get(self.pos).map_or(self.src.len(), |&(o, _)| o)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let &(_, c) = self.chars.get(self.pos)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// Consumes `n` chars (saturating at end of input).
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.bump().is_none() {
+                break;
+            }
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.byte_offset()..].starts_with(s)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into tokens. Total: every non-whitespace byte of the
+/// input is covered by exactly one token, and the function never panics
+/// regardless of input (malformed constructs become [`TokenKind::Unknown`]
+/// or run to end-of-file).
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let start_byte = cur.byte_offset();
+        let (line, col) = (cur.line, cur.col);
+        let kind = lex_one(&mut cur, c);
+        // Defensive: guarantee forward progress even if a lexer case
+        // consumed nothing, so arbitrary input can never loop forever.
+        if cur.byte_offset() == start_byte {
+            cur.bump();
+        }
+        let end_byte = cur.byte_offset();
+        out.push(Token { kind, text: &src[start_byte..end_byte], line, col });
+    }
+    out
+}
+
+/// Lexes the single token starting at `c`, advancing the cursor.
+fn lex_one(cur: &mut Cursor<'_>, c: char) -> TokenKind {
+    // Comments before general punctuation.
+    if cur.starts_with("//") {
+        return lex_line_comment(cur);
+    }
+    if cur.starts_with("/*") {
+        return lex_block_comment(cur);
+    }
+    // String-ish prefixes before identifiers: r"…", r#"…"#, br"…",
+    // cr#"…"#, b"…", c"…", b'…'.
+    if let Some(kind) = lex_prefixed_literal(cur) {
+        return kind;
+    }
+    if is_ident_start(c) {
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        return TokenKind::Ident;
+    }
+    if c.is_ascii_digit() {
+        return lex_number(cur);
+    }
+    if c == '\'' {
+        return lex_quote(cur);
+    }
+    if c == '"' {
+        return lex_string(cur);
+    }
+    for op in OPERATORS {
+        if cur.starts_with(op) {
+            cur.bump_n(op.chars().count());
+            return TokenKind::Punct;
+        }
+    }
+    cur.bump();
+    if c.is_ascii_punctuation() {
+        TokenKind::Punct
+    } else {
+        TokenKind::Unknown
+    }
+}
+
+fn lex_line_comment(cur: &mut Cursor<'_>) -> TokenKind {
+    let doc = cur.starts_with("///") && !cur.starts_with("////") || cur.starts_with("//!");
+    while cur.peek(0).is_some_and(|c| c != '\n') {
+        cur.bump();
+    }
+    if doc {
+        TokenKind::DocComment
+    } else {
+        TokenKind::LineComment
+    }
+}
+
+fn lex_block_comment(cur: &mut Cursor<'_>) -> TokenKind {
+    let doc = (cur.starts_with("/**") && !cur.starts_with("/***") && !cur.starts_with("/**/"))
+        || cur.starts_with("/*!");
+    cur.bump_n(2);
+    let mut depth = 1usize;
+    while depth > 0 {
+        if cur.starts_with("/*") {
+            cur.bump_n(2);
+            depth += 1;
+        } else if cur.starts_with("*/") {
+            cur.bump_n(2);
+            depth -= 1;
+        } else if cur.bump().is_none() {
+            break; // unterminated: comment runs to EOF
+        }
+    }
+    if doc {
+        TokenKind::DocComment
+    } else {
+        TokenKind::BlockComment
+    }
+}
+
+/// Handles `r`/`b`/`c`-prefixed string literals; returns `None` when the
+/// upcoming ident is not actually a literal prefix.
+fn lex_prefixed_literal(cur: &mut Cursor<'_>) -> Option<TokenKind> {
+    for prefix in ["br", "cr", "r"] {
+        if cur.starts_with(prefix) {
+            // Count `#` fence after the prefix; require a `"` to treat
+            // it as a raw string (otherwise `r` is an ident, e.g. in
+            // `r#ident` raw identifiers, handled below).
+            let plen = prefix.len();
+            let mut hashes = 0usize;
+            while cur.peek(plen + hashes) == Some('#') {
+                hashes += 1;
+            }
+            if cur.peek(plen + hashes) == Some('"') {
+                cur.bump_n(plen + hashes + 1);
+                lex_raw_body(cur, hashes);
+                return Some(TokenKind::RawStr);
+            }
+            if prefix == "r" && hashes > 0 && cur.peek(plen + hashes).is_some_and(is_ident_start)
+            {
+                // Raw identifier `r#ident`.
+                cur.bump_n(plen + hashes);
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                return Some(TokenKind::Ident);
+            }
+        }
+    }
+    for prefix in ["b\"", "c\""] {
+        if cur.starts_with(prefix) {
+            cur.bump(); // the prefix letter; lex_string consumes the `"`
+            lex_string(cur);
+            return Some(TokenKind::Str);
+        }
+    }
+    if cur.starts_with("b'") {
+        cur.bump(); // the `b`; lex_quote consumes the quote onward
+        return Some(lex_quote(cur));
+    }
+    None
+}
+
+/// Consumes a raw-string body up to `"` followed by `hashes` `#`s (or EOF).
+fn lex_raw_body(cur: &mut Cursor<'_>, hashes: usize) {
+    loop {
+        match cur.bump() {
+            None => return, // unterminated: runs to EOF
+            Some('"') => {
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek(0) == Some('#') {
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Consumes a `"…"` string with escapes; the cursor is on the `"`.
+fn lex_string(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump();
+    loop {
+        match cur.bump() {
+            None | Some('"') => return TokenKind::Str,
+            Some('\\') => {
+                cur.bump(); // the escaped char, e.g. `\"` or `\\`
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Disambiguates `'a` (lifetime) from `'x'`/`'\''` (char literal); the
+/// cursor is on the opening `'`.
+fn lex_quote(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump();
+    match cur.peek(0) {
+        Some('\\') => finish_char_body(cur),
+        Some(c) if is_ident_start(c) => {
+            // `'a'` is a char; `'a` (no closing quote after the ident
+            // run) is a lifetime; `'ab'` is consumed as an (invalid)
+            // char literal rather than panicking.
+            let mut n = 0usize;
+            while cur.peek(n).is_some_and(is_ident_continue) {
+                n += 1;
+            }
+            if cur.peek(n) == Some('\'') {
+                cur.bump_n(n + 1);
+                TokenKind::Char
+            } else {
+                cur.bump_n(n);
+                TokenKind::Lifetime
+            }
+        }
+        Some('\'') => {
+            // `''` — empty (invalid) char literal; consume both quotes.
+            cur.bump();
+            TokenKind::Char
+        }
+        None => TokenKind::Unknown,
+        Some(_) => finish_char_body(cur),
+    }
+}
+
+/// Consumes the remainder of a char/byte-char literal body (after the
+/// opening quote), handling escapes like `'\''` and `'\u{7D}'`.
+fn finish_char_body(cur: &mut Cursor<'_>) -> TokenKind {
+    loop {
+        match cur.bump() {
+            None | Some('\'') => return TokenKind::Char,
+            Some('\\') => {
+                cur.bump();
+            }
+            Some('\n') => return TokenKind::Char, // malformed; don't eat the file
+            Some(_) => {}
+        }
+    }
+}
+
+/// Consumes a numeric literal; the cursor is on the first digit.
+fn lex_number(cur: &mut Cursor<'_>) -> TokenKind {
+    let radix_prefixed = cur.starts_with("0x")
+        || cur.starts_with("0o")
+        || cur.starts_with("0b")
+        || cur.starts_with("0X")
+        || cur.starts_with("0O")
+        || cur.starts_with("0B");
+    if radix_prefixed {
+        cur.bump_n(2);
+        while cur.peek(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+            cur.bump();
+        }
+        return TokenKind::Int;
+    }
+    let mut float = false;
+    while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+        cur.bump();
+    }
+    // A fractional part only if the dot is NOT `..` (range) and NOT a
+    // method/field access like `1.max(2)` or `x.0`.
+    if cur.peek(0) == Some('.')
+        && cur.peek(1) != Some('.')
+        && !cur.peek(1).is_some_and(is_ident_start)
+    {
+        float = true;
+        cur.bump();
+        while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            cur.bump();
+        }
+    }
+    // Exponent: `1e5`, `2.5E-3` — only when digits follow the (signed) e.
+    if cur.peek(0).is_some_and(|c| c == 'e' || c == 'E') {
+        let sign = usize::from(cur.peek(1).is_some_and(|c| c == '+' || c == '-'));
+        if cur.peek(1 + sign).is_some_and(|c| c.is_ascii_digit()) {
+            float = true;
+            cur.bump_n(2 + sign);
+            while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                cur.bump();
+            }
+        }
+    }
+    // Suffix (`f64`, `u32`, `usize`, …) decides floatness when explicit.
+    if cur.peek(0).is_some_and(is_ident_start) {
+        let suffix_start = cur.byte_offset();
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        let suffix = &cur.src[suffix_start..cur.byte_offset()];
+        if suffix.starts_with("f32") || suffix.starts_with("f64") {
+            float = true;
+        }
+    }
+    if float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        assert_eq!(
+            kinds("fn a() -> b::C {}"),
+            vec![
+                (TokenKind::Ident, "fn"),
+                (TokenKind::Ident, "a"),
+                (TokenKind::Punct, "("),
+                (TokenKind::Punct, ")"),
+                (TokenKind::Punct, "->"),
+                (TokenKind::Ident, "b"),
+                (TokenKind::Punct, "::"),
+                (TokenKind::Ident, "C"),
+                (TokenKind::Punct, "{"),
+                (TokenKind::Punct, "}"),
+            ]
+        );
+    }
+
+    #[test]
+    fn float_vs_int_vs_range_vs_method() {
+        assert_eq!(
+            kinds("1.0 1 1..2 1.max(2) 1e5 2.5e-3 3f64 7u32 0xFF x.0"),
+            vec![
+                (TokenKind::Float, "1.0"),
+                (TokenKind::Int, "1"),
+                (TokenKind::Int, "1"),
+                (TokenKind::Punct, ".."),
+                (TokenKind::Int, "2"),
+                (TokenKind::Int, "1"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Ident, "max"),
+                (TokenKind::Punct, "("),
+                (TokenKind::Int, "2"),
+                (TokenKind::Punct, ")"),
+                (TokenKind::Float, "1e5"),
+                (TokenKind::Float, "2.5e-3"),
+                (TokenKind::Float, "3f64"),
+                (TokenKind::Int, "7u32"),
+                (TokenKind::Int, "0xFF"),
+                (TokenKind::Ident, "x"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Int, "0"),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_operators() {
+        let toks = kinds(r#"let s = "a == b"; s"#);
+        assert!(toks.contains(&(TokenKind::Str, r#""a == b""#)));
+        assert!(!toks.iter().any(|&(k, t)| k == TokenKind::Punct && t == "=="));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = "r#\"quote \" and == inside\"# r\"plain\" br##\"x\"# still\"##";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::RawStr);
+        assert_eq!(toks[1].0, TokenKind::RawStr);
+        assert_eq!(toks[2].0, TokenKind::RawStr);
+        assert_eq!(toks[2].1, "br##\"x\"# still\"##");
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn raw_ident_is_ident() {
+        assert_eq!(kinds("r#fn")[0], (TokenKind::Ident, "r#fn"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        assert_eq!(
+            kinds(r"'a' '\'' '\u{7D}' 'x 'static '\\'"),
+            vec![
+                (TokenKind::Char, "'a'"),
+                (TokenKind::Char, r"'\''"),
+                (TokenKind::Char, r"'\u{7D}'"),
+                (TokenKind::Lifetime, "'x"),
+                (TokenKind::Lifetime, "'static"),
+                (TokenKind::Char, r"'\\'"),
+            ]
+        );
+    }
+
+    #[test]
+    fn char_literal_containing_double_quote() {
+        // A `'"'` must not open a string that swallows the file.
+        let toks = kinds(r#"let c = '"'; let x = 1 == 2;"#);
+        assert!(toks.contains(&(TokenKind::Char, "'\"'")));
+        assert!(toks.contains(&(TokenKind::Punct, "==")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* a /* b */ c */ after");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "after"));
+    }
+
+    #[test]
+    fn doc_comment_flavors() {
+        assert_eq!(kinds("/// docs")[0].0, TokenKind::DocComment);
+        assert_eq!(kinds("//! docs")[0].0, TokenKind::DocComment);
+        assert_eq!(kinds("// plain")[0].0, TokenKind::LineComment);
+        assert_eq!(kinds("//// ruler")[0].0, TokenKind::LineComment);
+        assert_eq!(kinds("/** block doc */")[0].0, TokenKind::DocComment);
+        assert_eq!(kinds("/*! inner */")[0].0, TokenKind::DocComment);
+        assert_eq!(kinds("/**/")[0].0, TokenKind::BlockComment);
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        assert_eq!(kinds(r#"b"bytes""#)[0].0, TokenKind::Str);
+        assert_eq!(kinds(r#"c"cstr""#)[0].0, TokenKind::Str);
+        assert_eq!(kinds(r"b'x'")[0].0, TokenKind::Char);
+    }
+
+    #[test]
+    fn unterminated_constructs_reach_eof_without_panic() {
+        for src in ["\"open", "/* open", "r#\"open", "'", "b\"open", "r###\"x\"##"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "input {src:?} lexed to nothing");
+        }
+    }
+
+    #[test]
+    fn line_and_col_spans() {
+        let toks = lex("a\n  b == c");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!((toks[2].line, toks[2].col), (2, 5));
+        assert_eq!(toks[2].text, "==");
+    }
+
+    #[test]
+    fn operators_lex_greedily() {
+        assert_eq!(
+            kinds("a ..= b .. c == d != e => f <= g >= h && i || j"),
+            vec![
+                (TokenKind::Ident, "a"),
+                (TokenKind::Punct, "..="),
+                (TokenKind::Ident, "b"),
+                (TokenKind::Punct, ".."),
+                (TokenKind::Ident, "c"),
+                (TokenKind::Punct, "=="),
+                (TokenKind::Ident, "d"),
+                (TokenKind::Punct, "!="),
+                (TokenKind::Ident, "e"),
+                (TokenKind::Punct, "=>"),
+                (TokenKind::Ident, "f"),
+                (TokenKind::Punct, "<="),
+                (TokenKind::Ident, "g"),
+                (TokenKind::Punct, ">="),
+                (TokenKind::Ident, "h"),
+                (TokenKind::Punct, "&&"),
+                (TokenKind::Ident, "i"),
+                (TokenKind::Punct, "||"),
+                (TokenKind::Ident, "j"),
+            ]
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! # ucore-lint — project-specific static analysis for the ucore workspace
+//!
+//! The analytical model's correctness rests on invariants `rustc` and
+//! `clippy` cannot see: BCE-relative quantities must not be mixed as
+//! raw `f64`s, sweep/figure output must be byte-deterministic, and
+//! model crates must be panic-free. This crate enforces them with a
+//! dependency-free pass — a small hand-rolled lexer ([`lexer`]) feeding
+//! token-level rules ([`rules`]) — runnable locally and in CI as
+//! `cargo run -p ucore-lint`.
+//!
+//! ## Rules
+//!
+//! | rule | enforces |
+//! |---|---|
+//! | `float-eq` | no `==`/`!=` on float-typed expressions |
+//! | `raw-f64-api` | no bare-`f64` dimensioned params on `pub fn` in core/devices/itrs |
+//! | `panic-freedom` | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` outside tests |
+//! | `determinism` | no wall-clock or `HashMap`/`HashSet` in output-producing paths |
+//! | `unsafe-audit` | every `unsafe` carries a `// SAFETY:` / `# Safety` justification |
+//! | `errors-doc` | `pub fn … -> Result` documents an `# Errors` section |
+//!
+//! Plus two synthetic rules the engine itself emits: `suppression`
+//! (malformed/unreasoned allows) and `unused-suppression` (stale
+//! allows). See DESIGN.md §13 for the full contract.
+//!
+//! ## Suppression
+//!
+//! ```text
+//! // ucore-lint: allow(float-eq): exact-zero sentinel; == on 0.0 is IEEE-exact
+//! ```
+//!
+//! The reason after the second `:` is mandatory, and unused
+//! suppressions are findings, so allows cannot go stale silently.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod suppress;
+pub mod walk;
+
+use context::FileContext;
+use diag::Diagnostic;
+use rules::Rule;
+use std::path::Path;
+
+/// Lints one file's source text with `rules`, applying suppressions.
+///
+/// `check_unused` should be true when running the full rule set (a
+/// suppression for a disabled rule would otherwise be falsely reported
+/// as unused).
+pub fn lint_source(
+    rel_path: &str,
+    src: &str,
+    rules: &[Box<dyn Rule>],
+    check_unused: bool,
+) -> Vec<Diagnostic> {
+    let ctx = FileContext::new(rel_path, src);
+    let mut findings = Vec::new();
+    for rule in rules {
+        if rule.applies(rel_path) {
+            rule.check(&ctx, &mut findings);
+        }
+    }
+    let mut malformed = Vec::new();
+    let known = rules::known_names();
+    let suppressions = suppress::collect(&ctx, &known, &mut malformed);
+    let mut out = suppress::apply(&ctx, suppressions, findings, check_unused);
+    out.append(&mut malformed);
+    out
+}
+
+/// Lints every first-party source file under the workspace `root`.
+///
+/// # Errors
+///
+/// Returns the underlying `io::Error` when the workspace tree cannot be
+/// read (missing root, unreadable file).
+pub fn lint_workspace(
+    root: &Path,
+    rules: &[Box<dyn Rule>],
+    check_unused: bool,
+) -> std::io::Result<Vec<Diagnostic>> {
+    let mut findings = Vec::new();
+    for rel in walk::workspace_files(root)? {
+        let src = std::fs::read(root.join(&rel))?;
+        let src = String::from_utf8_lossy(&src);
+        findings.extend(lint_source(&rel, &src, rules, check_unused));
+    }
+    findings.sort_by_key(Diagnostic::sort_key);
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_source_runs_all_rules_and_suppressions() {
+        let src = "pub fn f() { x.unwrap(); }\n\
+                   let y = a == 1.0; // ucore-lint: allow(float-eq): test of the engine\n";
+        let out = lint_source("crates/core/src/x.rs", src, &rules::all(), true);
+        assert_eq!(out.len(), 1, "unsuppressed unwrap remains: {out:?}");
+        assert_eq!(out[0].rule, "panic-freedom");
+    }
+
+    #[test]
+    fn clean_source_yields_nothing() {
+        let src = "/// Adds.\npub fn add(a: u32, b: u32) -> u32 { a + b }\n";
+        assert!(lint_source("crates/core/src/x.rs", src, &rules::all(), true).is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! `errors-doc`: public fallible APIs document their failure modes.
+//!
+//! Every `pub fn … -> Result<…>` must carry an `# Errors` section in its
+//! doc comment naming the error conditions — the workspace error
+//! taxonomy (DESIGN.md §11) is only usable if callers can discover what
+//! each function returns without reading its body.
+
+use super::Rule;
+use crate::context::FileContext;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+
+/// The `errors-doc` rule.
+pub struct ErrorsDoc;
+
+impl Rule for ErrorsDoc {
+    fn name(&self) -> &'static str {
+        "errors-doc"
+    }
+
+    fn description(&self) -> &'static str {
+        "pub fn returning Result must have an `# Errors` doc section"
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        rel_path.contains("src/")
+    }
+
+    fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+        let mut i = 0usize;
+        while i < ctx.tokens.len() {
+            if !ctx.in_test[i]
+                && ctx.tokens[i].kind == TokenKind::Ident
+                && ctx.tokens[i].text == "pub"
+            {
+                if let Some(end) = check_one(ctx, i, out) {
+                    i = end;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Examines a possible `pub fn` at the `pub` token `i`; returns the
+/// index after the signature when one was scanned.
+fn check_one(ctx: &FileContext<'_>, i: usize, out: &mut Vec<Diagnostic>) -> Option<usize> {
+    let mut at = ctx.next_code(i)?;
+    if ctx.is_punct(at, "(") {
+        return None; // pub(crate)/pub(super): not public API
+    }
+    while ["const", "async", "unsafe"].iter().any(|q| ctx.is_ident(at, q)) {
+        at = ctx.next_code(at)?;
+    }
+    if !ctx.is_ident(at, "fn") {
+        return None;
+    }
+    let name_idx = ctx.next_code(at)?;
+    let fn_name = ctx.tokens[name_idx].text;
+    // Scan the signature up to the body `{` or `;`, tracking nesting so
+    // braces in generic bounds or default exprs don't terminate early.
+    let mut depth = 0i64;
+    let mut arrow: Option<usize> = None;
+    let mut at = ctx.next_code(name_idx)?;
+    let sig_end = loop {
+        let t = &ctx.tokens[at];
+        if t.kind == TokenKind::Punct {
+            match t.text {
+                "(" | "[" | "<" => depth += 1,
+                ")" | "]" | ">" => depth -= 1,
+                "->" if depth == 0 => arrow = Some(at),
+                "{" | ";" if depth <= 0 => break at,
+                _ => {}
+            }
+        }
+        at = ctx.next_code(at)?;
+    };
+    let arrow = match arrow {
+        Some(a) => a,
+        None => return Some(sig_end), // no return type: infallible
+    };
+    // Does the return type mention `Result` before any `where` clause?
+    let mut returns_result = false;
+    let mut j = arrow;
+    while let Some(next) = ctx.next_code(j) {
+        if next >= sig_end || ctx.is_ident(next, "where") {
+            break;
+        }
+        if ctx.is_ident(next, "Result") {
+            returns_result = true;
+            break;
+        }
+        j = next;
+    }
+    if returns_result && !has_errors_doc(ctx, i) {
+        let t = &ctx.tokens[name_idx];
+        out.push(Diagnostic {
+            rule: "errors-doc",
+            file: ctx.rel_path.clone(),
+            line: t.line,
+            col: t.col,
+            message: format!(
+                "`pub fn {fn_name}` returns `Result` but its doc comment has no \
+                 `# Errors` section naming the failure modes"
+            ),
+        });
+    }
+    Some(sig_end)
+}
+
+/// True when the doc comments attached to the item whose first
+/// qualifier token is at `i` contain `# Errors`. Walks back over
+/// attributes and comments.
+fn has_errors_doc(ctx: &FileContext<'_>, i: usize) -> bool {
+    let mut at = i;
+    loop {
+        let Some(prev) = at.checked_sub(1) else { return false };
+        let t = &ctx.tokens[prev];
+        match t.kind {
+            TokenKind::DocComment => {
+                if t.text.contains("# Errors") {
+                    return true;
+                }
+                at = prev;
+            }
+            TokenKind::LineComment | TokenKind::BlockComment => at = prev,
+            // Attribute tail `]` — walk to its opening `#` and continue.
+            TokenKind::Punct if t.text == "]" => {
+                let mut depth = 0i64;
+                let mut j = prev;
+                loop {
+                    match ctx.tokens[j].text {
+                        "]" => depth += 1,
+                        "[" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    let Some(next_j) = j.checked_sub(1) else { return false };
+                    j = next_j;
+                }
+                match j.checked_sub(1) {
+                    Some(h) if ctx.tokens[h].text == "#" => at = h,
+                    _ => return false,
+                }
+            }
+            _ => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<String> {
+        let ctx = FileContext::new("crates/core/src/x.rs", src);
+        let mut out = Vec::new();
+        ErrorsDoc.check(&ctx, &mut out);
+        out.iter().map(|d| d.message.clone()).collect()
+    }
+
+    #[test]
+    fn flags_undocumented_result_fn() {
+        assert_eq!(findings("/// Does things.\npub fn go() -> Result<u8, E> { Ok(1) }").len(), 1);
+        assert_eq!(findings("pub fn go() -> Result<u8, E>;").len(), 1);
+    }
+
+    #[test]
+    fn accepts_documented_result_fn() {
+        let src = "/// Does things.\n///\n/// # Errors\n///\n/// Fails when X.\npub fn go() -> Result<u8, E> { Ok(1) }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn docs_survive_interleaved_attributes() {
+        let src = "/// # Errors\n/// Fails when X.\n#[inline]\n#[must_use]\npub fn go() -> Result<u8, E> { Ok(1) }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn ignores_infallible_and_private_fns() {
+        assert!(findings("pub fn go() -> u8 { 1 }").is_empty());
+        assert!(findings("fn go() -> Result<u8, E> { Ok(1) }").is_empty());
+        assert!(findings("pub(crate) fn go() -> Result<u8, E> { Ok(1) }").is_empty());
+        assert!(findings("pub fn go() {}").is_empty());
+    }
+
+    #[test]
+    fn result_in_where_clause_is_not_a_return_type() {
+        let src = "pub fn go<T>() -> T where T: From<Result<u8, E>> { todo() }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn test_gated_fns_are_exempt() {
+        let src = "#[cfg(test)]\nmod t { pub fn go() -> Result<u8, E> { Ok(1) } }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn generic_return_with_nested_result_is_flagged() {
+        let src = "pub fn go() -> io::Result<()> { Ok(()) }";
+        assert_eq!(findings(src).len(), 1);
+    }
+}

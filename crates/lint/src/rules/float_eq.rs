@@ -1,0 +1,151 @@
+//! `float-eq`: no `==`/`!=` on float-typed expressions.
+//!
+//! The model computes in BCE-relative `f64` throughout; exact float
+//! equality is almost always a latent NaN or rounding bug. Intentional
+//! exact comparisons must go through `total_cmp`, an epsilon compare, or
+//! `to_bits()` (which also makes the exact-bits intent explicit).
+//!
+//! Detection is lexical: an `==`/`!=` whose adjacent operand edge is a
+//! float literal (`1.0`, `2.5e-3`, `3f64`) or an `f64::`/`f32::`
+//! associated constant (`f64::NAN`, `f32::EPSILON`). Type inference is
+//! out of scope for a lexer-level tool; the adjacent-edge heuristic
+//! catches the comparisons that matter in practice (sentinel and
+//! constant compares) with no false positives on integer code.
+
+use super::Rule;
+use crate::context::FileContext;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+
+/// The `float-eq` rule.
+pub struct FloatEq;
+
+/// `f64::`/`f32::` associated constants that mark an operand as float.
+const FLOAT_CONSTS: [&str; 6] =
+    ["NAN", "INFINITY", "NEG_INFINITY", "EPSILON", "MAX", "MIN_POSITIVE"];
+
+impl Rule for FloatEq {
+    fn name(&self) -> &'static str {
+        "float-eq"
+    }
+
+    fn description(&self) -> &'static str {
+        "no ==/!= on float-typed expressions; use total_cmp, an epsilon compare, or to_bits()"
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        super::in_model_src(rel_path) || rel_path.starts_with("src/")
+    }
+
+    fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+        for (i, tok) in ctx.tokens.iter().enumerate() {
+            if ctx.in_test[i]
+                || tok.kind != TokenKind::Punct
+                || (tok.text != "==" && tok.text != "!=")
+            {
+                continue;
+            }
+            let lhs_float = ctx.prev_code(i).is_some_and(|p| edge_is_float(ctx, p, true));
+            let rhs_float = ctx.next_code(i).is_some_and(|n| edge_is_float(ctx, n, false));
+            if lhs_float || rhs_float {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    file: ctx.rel_path.clone(),
+                    line: tok.line,
+                    col: tok.col,
+                    message: format!(
+                        "float `{}` comparison; use `total_cmp`, an epsilon compare, \
+                         or `to_bits()` for exact-bits intent",
+                        tok.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Whether the operand edge at token `i` is float-typed: a float
+/// literal, or part of an `f64::CONST` / `f32::CONST` path. For the LHS
+/// edge (`lhs == …`), `i` is the last token of the operand; for the RHS
+/// edge (`… == rhs`), the first.
+fn edge_is_float(ctx: &FileContext<'_>, i: usize, lhs: bool) -> bool {
+    let tok = &ctx.tokens[i];
+    if tok.kind == TokenKind::Float {
+        return true;
+    }
+    if tok.kind != TokenKind::Ident {
+        return false;
+    }
+    if lhs {
+        // `… f64 :: NAN ==` — the edge token is the constant name.
+        if !FLOAT_CONSTS.contains(&tok.text) {
+            return false;
+        }
+        let Some(sep) = ctx.prev_code(i) else { return false };
+        if !ctx.is_punct(sep, "::") {
+            return false;
+        }
+        ctx.prev_code(sep)
+            .is_some_and(|ty| ctx.is_ident(ty, "f64") || ctx.is_ident(ty, "f32"))
+    } else {
+        // `== f64 :: NAN …` — the edge token is the type name.
+        if tok.text != "f64" && tok.text != "f32" {
+            return false;
+        }
+        let Some(sep) = ctx.next_code(i) else { return false };
+        if !ctx.is_punct(sep, "::") {
+            return false;
+        }
+        ctx.next_code(sep)
+            .is_some_and(|c| FLOAT_CONSTS.iter().any(|name| ctx.is_ident(c, name)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<(u32, u32)> {
+        let ctx = FileContext::new("crates/core/src/x.rs", src);
+        let mut out = Vec::new();
+        FloatEq.check(&ctx, &mut out);
+        out.iter().map(|d| (d.line, d.col)).collect()
+    }
+
+    #[test]
+    fn flags_literal_comparisons_both_sides() {
+        assert_eq!(findings("if x == 0.0 {}"), vec![(1, 6)]);
+        assert_eq!(findings("if 1.0 != y {}"), vec![(1, 8)]);
+        assert_eq!(findings("let b = rel == 2.5e-3;"), vec![(1, 13)]);
+    }
+
+    #[test]
+    fn flags_float_associated_consts() {
+        assert_eq!(findings("if x == f64::NAN {}"), vec![(1, 6)]);
+        assert_eq!(findings("if f32::EPSILON == y {}"), vec![(1, 17)]);
+    }
+
+    #[test]
+    fn ignores_integers_and_non_float_idents() {
+        assert!(findings("if n == 0 {}").is_empty());
+        assert!(findings("if a == b {}").is_empty());
+        assert!(findings("if kind == ChipKind::Symmetric {}").is_empty());
+        assert!(findings("if n == usize::MAX {}").is_empty());
+    }
+
+    #[test]
+    fn ignores_strings_comments_and_tests() {
+        assert!(findings("let s = \"x == 0.0\";").is_empty());
+        assert!(findings("// x == 0.0\nlet y = 1;").is_empty());
+        assert!(findings("#[cfg(test)]\nmod t { fn f() { assert!(x == 0.0); } }").is_empty());
+    }
+
+    #[test]
+    fn scope_is_model_src_plus_facade() {
+        assert!(FloatEq.applies("crates/core/src/cache.rs"));
+        assert!(FloatEq.applies("crates/workloads/src/mmm/blocked.rs"));
+        assert!(FloatEq.applies("src/lib.rs"));
+        assert!(!FloatEq.applies("crates/core/tests/props.rs"));
+        assert!(!FloatEq.applies("crates/lint/src/lexer.rs"));
+    }
+}

@@ -1,0 +1,74 @@
+//! The rule registry.
+//!
+//! Each rule is a token-stream pass over one file. To add a rule:
+//!
+//! 1. create `src/rules/<name>.rs` implementing [`Rule`];
+//! 2. register it in [`all`] below (keep the list alphabetical);
+//! 3. add known-good and known-bad fixtures under `fixtures/<name>/`
+//!    and expectations in `tests/fixtures.rs`;
+//! 4. document it in the DESIGN.md §13 rule table.
+//!
+//! Rules must be *total*: they run on hostile input (the lexer already
+//! guarantees tokens for arbitrary bytes) and must never panic — the
+//! lint binary itself is linted by its own `panic-freedom` rule.
+
+mod determinism;
+mod errors_doc;
+mod float_eq;
+mod panic_freedom;
+mod raw_f64_api;
+mod unsafe_audit;
+
+use crate::context::FileContext;
+use crate::diag::Diagnostic;
+
+/// One static-analysis rule.
+pub trait Rule {
+    /// The kebab-case rule name used in reports and suppressions.
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list-rules`.
+    fn description(&self) -> &'static str;
+    /// Whether the rule runs on this workspace-relative path.
+    fn applies(&self, rel_path: &str) -> bool;
+    /// Scans one file, appending findings.
+    fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// All rules, in registry order.
+pub fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(determinism::Determinism),
+        Box::new(errors_doc::ErrorsDoc),
+        Box::new(float_eq::FloatEq),
+        Box::new(panic_freedom::PanicFreedom),
+        Box::new(raw_f64_api::RawF64Api),
+        Box::new(unsafe_audit::UnsafeAudit),
+    ]
+}
+
+/// The names of all registered rules plus the synthetic `suppression`
+/// and `unused-suppression` rules (valid in reports, not in `allow(…)`).
+pub fn known_names() -> Vec<&'static str> {
+    all().iter().map(|r| r.name()).collect()
+}
+
+/// The crates holding *model* code: arithmetic on BCE-relative
+/// quantities whose invariants the rules police most strictly.
+pub(crate) const MODEL_CRATE_DIRS: [&str; 9] = [
+    "crates/core/",
+    "crates/devices/",
+    "crates/itrs/",
+    "crates/calibrate/",
+    "crates/workloads/",
+    "crates/simdev/",
+    "crates/project/",
+    "crates/report/",
+    "crates/bench/",
+];
+
+/// True when `rel_path` is inside a model crate's `src/` tree.
+pub(crate) fn in_model_src(rel_path: &str) -> bool {
+    MODEL_CRATE_DIRS
+        .iter()
+        .any(|d| rel_path.starts_with(d) && rel_path[d.len()..].starts_with("src/"))
+}

@@ -1,0 +1,120 @@
+//! `panic-freedom`: no panicking constructs outside test code.
+//!
+//! The sweep engine contains panics at the evaluation boundary
+//! (DESIGN.md §11), but containment is a backstop, not a license: model
+//! code must surface failures as typed errors. This rule bans
+//! `.unwrap()` / `.unwrap_err()` / `.expect()` / `.expect_err()` and the
+//! `panic!` / `todo!` / `unimplemented!` macros in non-test code across
+//! every workspace crate — including this lint crate itself.
+
+use super::Rule;
+use crate::context::FileContext;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+
+/// The `panic-freedom` rule.
+pub struct PanicFreedom;
+
+/// Method names that panic on the unhappy path.
+const PANICKY_METHODS: [&str; 4] = ["unwrap", "expect", "unwrap_err", "expect_err"];
+
+/// Macro names that always panic when reached.
+const PANICKY_MACROS: [&str; 3] = ["panic", "todo", "unimplemented"];
+
+impl Rule for PanicFreedom {
+    fn name(&self) -> &'static str {
+        "panic-freedom"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panic!/todo!/unimplemented! outside #[cfg(test)]"
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        // Every src/ file in the workspace, lint crate included.
+        rel_path.contains("src/")
+    }
+
+    fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+        for (i, tok) in ctx.tokens.iter().enumerate() {
+            if ctx.in_test[i] || tok.kind != TokenKind::Ident {
+                continue;
+            }
+            let finding = if PANICKY_METHODS.contains(&tok.text)
+                && ctx.prev_code(i).is_some_and(|p| ctx.is_punct(p, "."))
+            {
+                Some(format!(
+                    "`.{}()` outside test code; propagate a typed error \
+                     (`?`, `ok_or`, `map_err`) instead",
+                    tok.text
+                ))
+            } else if PANICKY_MACROS.contains(&tok.text)
+                && ctx.next_code(i).is_some_and(|n| ctx.is_punct(n, "!"))
+            {
+                Some(format!(
+                    "`{}!` outside test code; return a typed error instead",
+                    tok.text
+                ))
+            } else {
+                None
+            };
+            if let Some(message) = finding {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    file: ctx.rel_path.clone(),
+                    line: tok.line,
+                    col: tok.col,
+                    message,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<String> {
+        let ctx = FileContext::new("crates/core/src/x.rs", src);
+        let mut out = Vec::new();
+        PanicFreedom.check(&ctx, &mut out);
+        out.iter().map(|d| d.message.clone()).collect()
+    }
+
+    #[test]
+    fn flags_unwrap_and_expect_calls() {
+        assert_eq!(findings("let x = maybe.unwrap();").len(), 1);
+        assert_eq!(findings("let x = res.expect(\"msg\");").len(), 1);
+        assert_eq!(findings("let e = res.unwrap_err();").len(), 1);
+        assert_eq!(findings("let e = res.expect_err(\"msg\");").len(), 1);
+    }
+
+    #[test]
+    fn flags_panicky_macros() {
+        assert_eq!(findings("panic!(\"boom\");").len(), 1);
+        assert_eq!(findings("todo!()").len(), 1);
+        assert_eq!(findings("unimplemented!()").len(), 1);
+    }
+
+    #[test]
+    fn ignores_lookalikes() {
+        // Different identifiers entirely.
+        assert!(findings("let x = maybe.unwrap_or(0);").is_empty());
+        assert!(findings("let x = maybe.unwrap_or_else(f);").is_empty());
+        assert!(findings("let x = maybe.unwrap_or_default();").is_empty());
+        // `panic` as a path segment, not a macro invocation.
+        assert!(findings("use std::panic::catch_unwind;").is_empty());
+        assert!(findings("std::panic::catch_unwind(f);").is_empty());
+        // Struct field or variable named unwrap, not a method call.
+        assert!(findings("let unwrap = 3; let y = unwrap + 1;").is_empty());
+    }
+
+    #[test]
+    fn ignores_strings_comments_and_test_code() {
+        assert!(findings("let s = \"call .unwrap() here\";").is_empty());
+        assert!(findings("// panic!(\"doc\")\nlet x = 1;").is_empty());
+        assert!(findings("/// let y = x.unwrap();\nfn f() {}").is_empty());
+        assert!(findings("#[cfg(test)]\nmod t { fn f() { x.unwrap(); panic!(); } }").is_empty());
+    }
+}

@@ -1,0 +1,250 @@
+//! `raw-f64-api`: public model APIs must not take dimensioned
+//! quantities as bare `f64`.
+//!
+//! `ucore-core` defines validated newtypes (`ParallelFraction`,
+//! `Speedup`, `Budgets`, …) precisely so BCE-relative performance,
+//! power, bandwidth, and area values cannot be mixed as anonymous
+//! floats (paper §3, Table 1). A `pub fn` in the model's foundational
+//! crates (`ucore-core`, `ucore-devices`, `ucore-itrs`) that takes a
+//! bare `f64` named like a dimensioned quantity reopens that hole.
+//!
+//! Conversion boundaries genuinely need raw floats — the newtype
+//! constructors themselves (`units.rs` is exempt wholesale) and
+//! validated ingress points carry explicit suppressions with reasons.
+
+use super::Rule;
+use crate::context::FileContext;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+
+/// The `raw-f64-api` rule.
+pub struct RawF64Api;
+
+/// Parameter names that denote a dimensioned, BCE-relative quantity for
+/// which a newtype exists (or should).
+const DIMENSIONED_NAMES: [&str; 13] = [
+    "f",
+    "fraction",
+    "frac",
+    "perf",
+    "performance",
+    "speedup",
+    "power",
+    "bandwidth",
+    "bw",
+    "area",
+    "mu",
+    "phi",
+    "watts",
+];
+
+impl Rule for RawF64Api {
+    fn name(&self) -> &'static str {
+        "raw-f64-api"
+    }
+
+    fn description(&self) -> &'static str {
+        "pub fn in core/devices/itrs taking a dimensioned quantity as bare f64"
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        let in_scope = ["crates/core/src/", "crates/devices/src/", "crates/itrs/src/"]
+            .iter()
+            .any(|d| rel_path.starts_with(d));
+        // units.rs IS the conversion boundary: its constructors must
+        // accept raw floats to validate them.
+        in_scope && !rel_path.ends_with("/units.rs")
+    }
+
+    fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+        let mut i = 0usize;
+        while i < ctx.tokens.len() {
+            if !ctx.in_test[i]
+                && ctx.tokens[i].kind == TokenKind::Ident
+                && ctx.tokens[i].text == "pub"
+            {
+                if let Some(end) = self.check_pub_fn(ctx, i, out) {
+                    i = end;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+impl RawF64Api {
+    /// Examines a possible `pub fn` starting at the `pub` token `i`;
+    /// returns the index after the parameter list when one was scanned.
+    fn check_pub_fn(
+        &self,
+        ctx: &FileContext<'_>,
+        i: usize,
+        out: &mut Vec<Diagnostic>,
+    ) -> Option<usize> {
+        let mut at = ctx.next_code(i)?;
+        // `pub(crate)` / `pub(super)` items are not public API.
+        if ctx.is_punct(at, "(") {
+            return None;
+        }
+        // Skip fn qualifiers: `pub const fn`, `pub async fn`, `pub unsafe fn`.
+        while ["const", "async", "unsafe"].iter().any(|q| ctx.is_ident(at, q)) {
+            at = ctx.next_code(at)?;
+        }
+        if !ctx.is_ident(at, "fn") {
+            return None;
+        }
+        let name_idx = ctx.next_code(at)?;
+        let fn_name = ctx.tokens[name_idx].text;
+        // Find the parameter list `(`, skipping generic params `<…>`.
+        let mut angle = 0i64;
+        let mut at = ctx.next_code(name_idx)?;
+        loop {
+            let t = &ctx.tokens[at];
+            if t.kind == TokenKind::Punct {
+                match t.text {
+                    "<" => angle += 1,
+                    ">" => angle -= 1,
+                    "(" if angle == 0 => break,
+                    "{" | ";" => return None, // malformed / not a normal fn
+                    _ => {}
+                }
+            }
+            at = ctx.next_code(at)?;
+        }
+        let params_open = at;
+        let params_close = self.scan_params(ctx, fn_name, params_open, out)?;
+        Some(params_close + 1)
+    }
+
+    /// Walks the parameter list, flagging `name: f64` params with
+    /// dimensioned names; returns the index of the closing `)`.
+    fn scan_params(
+        &self,
+        ctx: &FileContext<'_>,
+        fn_name: &str,
+        open: usize,
+        out: &mut Vec<Diagnostic>,
+    ) -> Option<usize> {
+        let mut depth = 0i64;
+        let mut at = open;
+        // Token indices of the current parameter (between top-level commas).
+        let mut param: Vec<usize> = Vec::new();
+        loop {
+            let t = &ctx.tokens[at];
+            if t.kind == TokenKind::Punct {
+                match t.text {
+                    "(" | "[" | "<" => depth += 1,
+                    ")" | "]" | ">" => {
+                        depth -= 1;
+                        if depth == 0 && t.text == ")" {
+                            self.flag_param(ctx, fn_name, &param, out);
+                            return Some(at);
+                        }
+                    }
+                    "," if depth == 1 => {
+                        self.flag_param(ctx, fn_name, &param, out);
+                        param.clear();
+                        at = ctx.next_code(at)?;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            if at != open {
+                param.push(at);
+            }
+            at = ctx.next_code(at)?;
+        }
+    }
+
+    /// Flags one parameter when it is `ident: f64` (optionally `mut
+    /// ident: f64`) with a dimensioned name.
+    fn flag_param(
+        &self,
+        ctx: &FileContext<'_>,
+        fn_name: &str,
+        param: &[usize],
+        out: &mut Vec<Diagnostic>,
+    ) {
+        // Shape: [mut] name : type… — take the ident before the first `:`.
+        let Some(colon_pos) = param.iter().position(|&i| ctx.is_punct(i, ":")) else {
+            return;
+        };
+        let name_idx = match param[..colon_pos] {
+            [n] => n,
+            [m, n] if ctx.is_ident(m, "mut") => n,
+            _ => return, // pattern params (tuples, refs) — out of scope
+        };
+        let name = ctx.tokens[name_idx].text;
+        if !DIMENSIONED_NAMES.contains(&name) {
+            return;
+        }
+        // The type must be exactly `f64`.
+        let ty = &param[colon_pos + 1..];
+        if ty.len() != 1 || !ctx.is_ident(ty[0], "f64") {
+            return;
+        }
+        let t = &ctx.tokens[name_idx];
+        out.push(Diagnostic {
+            rule: self.name(),
+            file: ctx.rel_path.clone(),
+            line: t.line,
+            col: t.col,
+            message: format!(
+                "`pub fn {fn_name}` takes dimensioned quantity `{name}` as bare `f64`; \
+                 use the `units.rs` newtype (ParallelFraction, Speedup, …) or \
+                 suppress at a validated conversion boundary"
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<String> {
+        let ctx = FileContext::new("crates/core/src/x.rs", src);
+        let mut out = Vec::new();
+        RawF64Api.check(&ctx, &mut out);
+        out.iter().map(|d| d.message.clone()).collect()
+    }
+
+    #[test]
+    fn flags_dimensioned_f64_params() {
+        assert_eq!(findings("pub fn speedup_at(f: f64) -> f64 { f }").len(), 1);
+        assert_eq!(findings("pub fn set(power: f64, bandwidth: f64) {}").len(), 2);
+        assert_eq!(findings("pub const fn area_of(area: f64) -> f64 { area }").len(), 1);
+    }
+
+    #[test]
+    fn ignores_newtypes_and_undimensioned_names() {
+        assert!(findings("pub fn speedup_at(f: ParallelFraction) {}").is_empty());
+        assert!(findings("pub fn lerp(t: f64) -> f64 { t }").is_empty());
+        assert!(findings("pub fn nth(n: usize) {}").is_empty());
+    }
+
+    #[test]
+    fn ignores_non_public_and_test_fns() {
+        assert!(findings("fn speedup_at(f: f64) {}").is_empty());
+        assert!(findings("pub(crate) fn ingest(power: f64) {}").is_empty());
+        assert!(findings("#[cfg(test)]\nmod t { pub fn mk(f: f64) {} }").is_empty());
+    }
+
+    #[test]
+    fn handles_generics_and_defaults() {
+        assert_eq!(
+            findings("pub fn map<T: Into<f64>>(x: T, power: f64) {}").len(),
+            1
+        );
+        assert!(findings("pub fn map<T: Into<f64>>(x: T) {}").is_empty());
+    }
+
+    #[test]
+    fn units_rs_is_exempt() {
+        assert!(!RawF64Api.applies("crates/core/src/units.rs"));
+        assert!(RawF64Api.applies("crates/core/src/speedup.rs"));
+        assert!(!RawF64Api.applies("crates/project/src/engine.rs"));
+    }
+}

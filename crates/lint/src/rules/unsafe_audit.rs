@@ -1,0 +1,172 @@
+//! `unsafe-audit`: every `unsafe` must carry its justification.
+//!
+//! Most workspace crates `forbid(unsafe_code)` outright; where unsafe
+//! ever becomes necessary (SIMD kernels, memory-mapped journals), the
+//! obligation is a written proof: `unsafe` blocks and `unsafe impl`s
+//! need a `// SAFETY:` comment within the three preceding lines (or on
+//! the same line), and `unsafe fn` declarations need a `# Safety`
+//! section in their doc comment.
+
+use super::Rule;
+use crate::context::FileContext;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+
+/// The `unsafe-audit` rule.
+pub struct UnsafeAudit;
+
+/// How many lines above the `unsafe` keyword a `// SAFETY:` comment may
+/// sit and still count as adjacent.
+const SAFETY_WINDOW_LINES: u32 = 3;
+
+impl Rule for UnsafeAudit {
+    fn name(&self) -> &'static str {
+        "unsafe-audit"
+    }
+
+    fn description(&self) -> &'static str {
+        "unsafe blocks/impls need an adjacent // SAFETY: comment; unsafe fn needs # Safety docs"
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        rel_path.contains("src/")
+    }
+
+    fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+        for (i, tok) in ctx.tokens.iter().enumerate() {
+            if ctx.in_test[i] || tok.kind != TokenKind::Ident || tok.text != "unsafe" {
+                continue;
+            }
+            let is_fn_decl = ctx.next_code(i).is_some_and(|n| ctx.is_ident(n, "fn"));
+            let (ok, want) = if is_fn_decl {
+                (has_safety_doc(ctx, i), "a `# Safety` section in its doc comment")
+            } else {
+                (has_safety_comment(ctx, i), "an adjacent `// SAFETY:` comment")
+            };
+            if !ok {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    file: ctx.rel_path.clone(),
+                    line: tok.line,
+                    col: tok.col,
+                    message: format!("`unsafe` without {want} justifying why it is sound"),
+                });
+            }
+        }
+    }
+}
+
+/// True when a comment containing `SAFETY:` sits on the same line as
+/// token `i` or within [`SAFETY_WINDOW_LINES`] lines above it.
+fn has_safety_comment(ctx: &FileContext<'_>, i: usize) -> bool {
+    let line = ctx.tokens[i].line;
+    let lo = line.saturating_sub(SAFETY_WINDOW_LINES);
+    // Look backward (comments above) and forward on the same line
+    // (trailing `// SAFETY: …` after `unsafe {`).
+    let behind = ctx.tokens[..i]
+        .iter()
+        .rev()
+        .take_while(|t| t.line >= lo)
+        .any(|t| t.is_comment() && t.text.contains("SAFETY:"));
+    let trailing = ctx.tokens[i..]
+        .iter()
+        .take_while(|t| t.line == line)
+        .any(|t| t.is_comment() && t.text.contains("SAFETY:"));
+    behind || trailing
+}
+
+/// True when the doc comments immediately above the item containing
+/// token `i` include a `# Safety` section. Walks back over attributes
+/// and qualifiers (`pub`, `const`, `extern`) to find the docs.
+fn has_safety_doc(ctx: &FileContext<'_>, i: usize) -> bool {
+    let mut at = i;
+    loop {
+        let Some(prev) = at.checked_sub(1) else { return false };
+        let t = &ctx.tokens[prev];
+        match t.kind {
+            TokenKind::DocComment => {
+                if t.text.contains("# Safety") {
+                    return true;
+                }
+                at = prev;
+            }
+            TokenKind::LineComment | TokenKind::BlockComment => at = prev,
+            TokenKind::Ident if matches!(t.text, "pub" | "const" | "extern") => at = prev,
+            // Attribute tail `]` — walk to its opening `#`.
+            TokenKind::Punct if t.text == "]" => {
+                let mut depth = 0i64;
+                let mut j = prev;
+                loop {
+                    match ctx.tokens[j].text {
+                        "]" => depth += 1,
+                        "[" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    let Some(next_j) = j.checked_sub(1) else { return false };
+                    j = next_j;
+                }
+                // Expect the `#` before the `[`.
+                match j.checked_sub(1) {
+                    Some(h) if ctx.tokens[h].text == "#" => at = h,
+                    _ => return false,
+                }
+            }
+            _ => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> usize {
+        let ctx = FileContext::new("crates/core/src/x.rs", src);
+        let mut out = Vec::new();
+        UnsafeAudit.check(&ctx, &mut out);
+        out.len()
+    }
+
+    #[test]
+    fn unsafe_block_needs_safety_comment() {
+        assert_eq!(findings("fn f() { unsafe { do_it() } }"), 1);
+        assert_eq!(findings("fn f() {\n    // SAFETY: ptr is valid for reads\n    unsafe { do_it() }\n}"), 0);
+        assert_eq!(findings("fn f() { unsafe { do_it() } // SAFETY: valid\n}"), 0);
+    }
+
+    #[test]
+    fn safety_comment_window_is_bounded() {
+        let far = "fn f() {\n    // SAFETY: too far away\n\n\n\n\n    unsafe { do_it() }\n}";
+        assert_eq!(findings(far), 1);
+    }
+
+    #[test]
+    fn unsafe_fn_needs_safety_docs() {
+        assert_eq!(findings("pub unsafe fn raw() {}"), 1);
+        assert_eq!(
+            findings("/// Does raw things.\n///\n/// # Safety\n///\n/// Caller upholds X.\npub unsafe fn raw() {}"),
+            0
+        );
+        assert_eq!(
+            findings("/// # Safety\n/// Caller upholds X.\n#[inline]\npub unsafe fn raw() {}"),
+            0
+        );
+    }
+
+    #[test]
+    fn unsafe_impl_needs_safety_comment() {
+        assert_eq!(findings("unsafe impl Send for X {}"), 1);
+        assert_eq!(findings("// SAFETY: X owns no thread-bound state\nunsafe impl Send for X {}"), 0);
+    }
+
+    #[test]
+    fn test_code_and_strings_are_exempt() {
+        assert_eq!(findings("#[cfg(test)]\nmod t { fn f() { unsafe { x() } } }"), 0);
+        assert_eq!(findings("let s = \"unsafe\";"), 0);
+    }
+}

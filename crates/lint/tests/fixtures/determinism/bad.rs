@@ -1,0 +1,14 @@
+//! determinism fixture: wall clock and hash ordering on the output path.
+
+use std::collections::HashMap;
+use std::time::{Instant, SystemTime};
+
+/// Lets nondeterminism reach the output bytes.
+pub fn stamp() -> usize {
+    let started = Instant::now();
+    let wall = SystemTime::now();
+    let mut m: HashMap<u64, u64> = HashMap::new();
+    m.insert(0, started.elapsed().as_nanos() as u64);
+    drop(wall);
+    m.len()
+}

@@ -1,0 +1,10 @@
+//! determinism fixture: ordered containers, no wall clock.
+
+use std::collections::BTreeMap;
+
+/// Assembles output from deterministically ordered state.
+pub fn stamp() -> usize {
+    let mut m: BTreeMap<u64, u64> = BTreeMap::new();
+    m.insert(0, 1);
+    m.len()
+}

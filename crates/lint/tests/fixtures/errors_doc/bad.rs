@@ -1,0 +1,6 @@
+//! errors-doc fixture: fallible public API with undocumented errors.
+
+/// Parses a number (but never says how it fails).
+pub fn parse_num(s: &str) -> Result<u32, std::num::ParseIntError> {
+    s.parse()
+}

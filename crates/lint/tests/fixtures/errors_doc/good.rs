@@ -1,0 +1,15 @@
+//! errors-doc fixture: fallible public API documenting its errors.
+
+/// Parses a number.
+///
+/// # Errors
+///
+/// Returns the integer-parse error for non-numeric input.
+pub fn parse_num(s: &str) -> Result<u32, std::num::ParseIntError> {
+    s.parse()
+}
+
+/// Infallible functions need no `# Errors` section.
+pub fn double(v: u32) -> u32 {
+    v * 2
+}

@@ -1,0 +1,9 @@
+//! float-eq fixture: raw float comparisons the rule must flag.
+
+/// Compares raw floats; each comparison line is one finding.
+pub fn bad_compares(x: f64) -> bool {
+    let a = x == 1.0;
+    let b = 0.5 != x;
+    let c = x == f64::NAN;
+    a || b || c
+}

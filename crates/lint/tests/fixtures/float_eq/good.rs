@@ -1,0 +1,9 @@
+//! float-eq fixture: accepted comparison idioms.
+
+/// Compares via exact bits, an epsilon band, and plain integers.
+pub fn good_compares(x: f64, y: f64) -> bool {
+    let exact = x.to_bits() == y.to_bits();
+    let close = (x - y).abs() < 1e-9;
+    let ints = (x as u32) == 3_u32;
+    exact || close || ints
+}

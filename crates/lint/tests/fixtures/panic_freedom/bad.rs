@@ -1,0 +1,14 @@
+//! panic-freedom fixture: every panicking construct outside tests.
+
+/// Panics five different ways; each panicking line is one finding.
+pub fn panics(v: Option<u32>) -> u32 {
+    let a = v.unwrap();
+    let b = v.expect("present");
+    if a == b {
+        panic!("equal");
+    }
+    if a > b {
+        todo!()
+    }
+    unimplemented!()
+}

@@ -1,0 +1,19 @@
+//! panic-freedom fixture: typed errors outside tests, unwrap inside.
+
+/// Divides, reporting failure as a typed error.
+///
+/// # Errors
+///
+/// Returns `Err` when `b` is zero.
+pub fn checked_div(a: u32, b: u32) -> Result<u32, String> {
+    a.checked_div(b).ok_or_else(|| String::from("division by zero"))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::checked_div(4, 2).unwrap(), 2);
+        assert!(super::checked_div(1, 0).is_err());
+    }
+}

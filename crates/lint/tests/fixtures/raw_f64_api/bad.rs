@@ -1,0 +1,12 @@
+//! raw-f64-api fixture: dimensioned quantities as anonymous floats.
+
+/// Takes two dimensioned quantities raw: two findings on one line.
+pub fn misuse(area: f64, power: f64, label: &str) -> f64 {
+    let _ = label;
+    area * power
+}
+
+/// The paper's `f` is a dimensioned fraction: one finding.
+pub fn run(f: f64) -> f64 {
+    f + 0.0
+}

@@ -1,0 +1,14 @@
+//! raw-f64-api fixture: newtypes and non-dimensioned params pass.
+
+/// A stand-in newtype, as `units.rs` provides.
+pub struct Speedup(pub f64);
+
+/// Typed quantity plus a scalar with no dimension: no findings.
+pub fn apply(s: Speedup, iterations: f64) -> f64 {
+    s.0 * iterations
+}
+
+/// Not public API: raw floats are fine crate-internally.
+pub(crate) fn helper(area: f64) -> f64 {
+    area + 1.0
+}

@@ -1,0 +1,7 @@
+//! suppression fixture: a well-formed allow with a reason.
+
+/// An exact-bits comparison kept as written.
+pub fn allowed(x: f64) -> bool {
+    // ucore-lint: allow(float-eq): exact IEEE comparison is this fixture's point
+    x == 4.0
+}

@@ -1,0 +1,11 @@
+//! unsafe-audit fixture: unjustified unsafe.
+
+/// Reads through a raw pointer with no justification comment.
+pub fn read_raw(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+/// An unsafe fn whose docs never state the caller contract.
+pub unsafe fn get_raw(p: *const u32) -> u32 {
+    *p
+}

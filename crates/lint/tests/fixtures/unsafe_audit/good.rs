@@ -1,0 +1,16 @@
+//! unsafe-audit fixture: justified unsafe.
+
+/// Reads through a raw pointer, justified at the site.
+pub fn read_raw(p: *const u32) -> u32 {
+    // SAFETY: fixture contract — `p` is valid for reads by construction.
+    unsafe { *p }
+}
+
+/// Reads through a raw pointer.
+///
+/// # Safety
+///
+/// `p` must be non-null, aligned, and valid for reads.
+pub unsafe fn get_raw(p: *const u32) -> u32 {
+    *p
+}

@@ -1,0 +1,82 @@
+//! Property tests: the lexer is *total*. Whatever bytes arrive — UTF-8
+//! soup, truncated literals, unterminated raw strings, nested comment
+//! bombs — `lex` must return without panicking, never emit an empty
+//! token (the forward-progress guarantee), and keep every token's span
+//! inside the source.
+
+use proptest::prelude::*;
+use ucore_lint::lexer;
+
+/// Shared invariant check for any lexed source.
+fn assert_total(src: &str) {
+    let tokens = lexer::lex(src);
+    let mut consumed = 0usize;
+    for t in &tokens {
+        assert!(!t.text.is_empty(), "empty token (no forward progress) in {src:?}");
+        assert!(t.line >= 1 && t.col >= 1, "1-indexed span in {src:?}");
+        consumed += t.text.len();
+    }
+    // Tokens cover at most the source (the rest is whitespace).
+    assert!(consumed <= src.len(), "tokens overrun the source in {src:?}");
+}
+
+/// Fragments chosen to sit on the lexer's edges: raw-string fences,
+/// nested comments, char-vs-lifetime, byte literals, stray quotes.
+const HOSTILE_FRAGMENTS: [&str; 24] = [
+    "r#\"",
+    "\"#",
+    "r###\"x\"##",
+    "br##\"",
+    "b'",
+    "b\"\\\"",
+    "'a",
+    "'\\''",
+    "/*",
+    "/* /* */",
+    "*/",
+    "//!",
+    "////",
+    "\\",
+    "\"",
+    "0x",
+    "1e",
+    "1.0e+",
+    "0b__",
+    "..=",
+    "1..2",
+    "::<>",
+    "r#match",
+    "\u{fffd}\u{10000}é",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup (lossily decoded) never panics the lexer.
+    #[test]
+    fn lexes_arbitrary_bytes(
+        input in (0usize..=256, prop::collection::vec(0u8..=255u8, 256)),
+    ) {
+        let (len, bytes) = input;
+        let src = String::from_utf8_lossy(&bytes[..len]).into_owned();
+        assert_total(&src);
+    }
+
+    /// Concatenations of hostile fragments — inputs shaped like the
+    /// worst corners of real Rust — never panic the lexer either.
+    #[test]
+    fn lexes_hostile_fragment_soup(
+        picks in prop::collection::vec(0usize..HOSTILE_FRAGMENTS.len(), 12),
+    ) {
+        let src: String = picks.iter().map(|&i| HOSTILE_FRAGMENTS[i]).collect();
+        assert_total(&src);
+    }
+}
+
+#[test]
+fn lexes_every_single_hostile_fragment() {
+    for frag in HOSTILE_FRAGMENTS {
+        assert_total(frag);
+    }
+    assert_total("");
+}

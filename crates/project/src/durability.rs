@@ -356,6 +356,7 @@ pub(crate) fn timeout_message(index: usize, budget: Duration) -> String {
 pub fn watchdog_checkpoint() {
     if let Some((start, budget)) = watchdog_state() {
         if start.elapsed() >= budget {
+            // ucore-lint: allow(panic-freedom): the watchdog's panic IS the containment signal; the sweep boundary catches it and converts it to Failed{timeout}
             panic!(
                 "watchdog deadline exceeded ({} ms budget) at cooperative checkpoint",
                 budget.as_millis()

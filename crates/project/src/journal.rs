@@ -41,7 +41,7 @@
 
 use crate::sweep::{Outcome, SweepPoint};
 use crate::results::NodePoint;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
@@ -478,7 +478,10 @@ pub enum ReplayLookup<'a> {
 /// `(sweep_seq, index)`.
 #[derive(Debug, Clone, Default)]
 pub struct ReplayMap {
-    map: HashMap<(u64, usize), ReplayedOutcome>,
+    // BTreeMap, not HashMap: replay state sits on the output path of a
+    // resumed run, and ordered iteration keeps every downstream walk
+    // deterministic by construction.
+    map: BTreeMap<(u64, usize), ReplayedOutcome>,
 }
 
 impl ReplayMap {

@@ -312,6 +312,7 @@ pub fn sweep(
     // journaled ones.
     let sweep_seq = dur.map(|d| d.next_sweep_seq()).unwrap_or(0);
     let cache_before = engine.cache().stats();
+    // ucore-lint: allow(determinism): wall-clock feeds only the SweepStats elapsed field, which is observability metadata excluded from output bytes
     let start = Instant::now();
 
     let resolutions: Vec<PointResolution> = if threads <= 1 || points.len() <= 1 {
@@ -525,8 +526,10 @@ fn parallel_resolutions(
                         let Some(point) = points.get(i) else {
                             break;
                         };
+                        // ucore-lint: allow(determinism): the heartbeat timestamp is watchdog observability only and never reaches serialized output
+                        let stamp = Instant::now();
                         *heartbeat.lock().unwrap_or_else(PoisonError::into_inner) =
-                            Some((i, Instant::now()));
+                            Some((i, stamp));
                         local.push((
                             i,
                             resolve_point(
@@ -659,6 +662,7 @@ fn evaluate_contained(
     SUPPRESS_PANIC_OUTPUT.with(|s| s.set(true));
     let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
         if matches!(fault, Some(Fault::Panic)) {
+            // ucore-lint: allow(panic-freedom): deliberate fault injection exercising the containment boundary that catches it two lines down
             panic!("injected panic at point {index}");
         }
         evaluate(engine, point, use_cache)
@@ -681,6 +685,7 @@ const UNWATCHED_STALL_CAP: Duration = Duration::from_secs(30);
 /// stuck evaluation code polling a dead resource — until the watchdog
 /// budget expires and releases it as a deterministic `Failed{timeout}`.
 fn stalled_point(index: usize, timeout: Option<Duration>) -> Outcome {
+    // ucore-lint: allow(determinism): the injected stall's clock decides only *when* the deterministic timeout message is released, never its bytes
     let started = Instant::now();
     loop {
         match timeout {

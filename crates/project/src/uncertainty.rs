@@ -109,7 +109,9 @@ pub fn speedup_interval(
     let samples = samples.max(1);
     for _ in 0..samples {
         let jitter = |rng: &mut StdRng, rel: f64| {
-            if rel == 0.0 {
+            // `<=` rather than `==`: also shields gen_range from the
+            // degenerate -0.0 span, which would be an invalid range.
+            if rel <= 0.0 {
                 1.0
             } else {
                 1.0 + rng.gen_range(-rel..=rel)

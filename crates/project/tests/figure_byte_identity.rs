@@ -1,0 +1,37 @@
+//! Byte-identity of serialized figure output across worker thread
+//! counts.
+//!
+//! DESIGN.md §10 promises that a sweep's output bytes do not depend on
+//! how many workers produced them. The sweep-equivalence property tests
+//! check the in-memory results; this test closes the loop on the actual
+//! serialized artifact: the JSON a figure ships is compared byte for
+//! byte at 1, 2, 4 and 8 threads. Ordered (`BTreeMap`-backed) state on
+//! the output path is what makes this hold by construction.
+//!
+//! This lives in its own integration-test binary because it owns the
+//! `UCORE_SWEEP_THREADS` process environment variable for its duration.
+
+use ucore_project::figures;
+use ucore_project::results::FigureData;
+
+fn render(threads: &str) -> Vec<(&'static str, String)> {
+    std::env::set_var("UCORE_SWEEP_THREADS", threads);
+    let json = |fig: FigureData| serde_json::to_string(&fig).expect("figure serializes");
+    let out = vec![
+        ("figure6", json(figures::figure6().expect("figure 6 projects"))),
+        ("figure10", json(figures::figure10().expect("figure 10 projects"))),
+    ];
+    std::env::remove_var("UCORE_SWEEP_THREADS");
+    out
+}
+
+#[test]
+fn figure_json_is_byte_identical_across_thread_counts() {
+    let reference = render("1");
+    for threads in ["2", "4", "8"] {
+        let rendered = render(threads);
+        for ((name, json), (_, expected)) in rendered.iter().zip(reference.iter()) {
+            assert_eq!(json, expected, "{name} at {threads} threads");
+        }
+    }
+}

@@ -29,6 +29,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Panic-freedom: model code returns typed errors; `unwrap`/`expect`
+// stay legal in `#[cfg(test)]` code only (ucore-lint enforces the same
+// contract at the token level).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod asic;
 pub mod counters;

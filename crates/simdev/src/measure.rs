@@ -186,9 +186,9 @@ impl SimLab {
     /// Regenerates the Table 4 rows for a workload (MMM or BS).
     pub fn table4(&self, kind: WorkloadKind) -> Vec<Measurement> {
         let workload = match kind {
-            WorkloadKind::Mmm => Workload::mmm(2048).expect("2048 is valid"),
+            WorkloadKind::Mmm => Workload::mmm_const::<2048>(),
             WorkloadKind::BlackScholes => Workload::black_scholes(),
-            WorkloadKind::Fft => Workload::fft(1024).expect("1024 is valid"),
+            WorkloadKind::Fft => Workload::fft_const::<1024>(),
         };
         DeviceId::ALL
             .iter()

@@ -79,7 +79,7 @@ impl Roofline {
     /// The arithmetic intensity at which the two ceilings meet (the
     /// "ridge point"); kernels above it are compute-bound.
     pub fn ridge_intensity(&self) -> f64 {
-        if self.bandwidth_peak_gb_s == 0.0 {
+        if self.bandwidth_peak_gb_s <= 0.0 {
             f64::INFINITY
         } else {
             self.compute_peak / self.bandwidth_peak_gb_s

@@ -28,7 +28,8 @@ pub fn price_all(portfolio: &[OptionParams]) -> Vec<OptionPrice> {
 ///
 /// # Errors
 ///
-/// Returns [`WorkloadError::ZeroSize`] for a zero thread count.
+/// Returns [`WorkloadError::ZeroSize`] for a zero thread count and
+/// [`WorkloadError::WorkerPanicked`] if a pricing worker dies.
 pub fn price_all_parallel(
     portfolio: &[OptionParams],
     threads: usize,
@@ -50,7 +51,7 @@ pub fn price_all_parallel(
             });
         }
     })
-    .expect("pricing workers do not panic");
+    .map_err(|_| WorkloadError::WorkerPanicked { kernel: "Black-Scholes batch pricing" })?;
     Ok(out)
 }
 

@@ -44,9 +44,10 @@ pub fn transform_all(
 ///
 /// # Errors
 ///
-/// Returns [`WorkloadError::ZeroSize`] for zero threads, or
+/// Returns [`WorkloadError::ZeroSize`] for zero threads,
 /// [`WorkloadError::LengthMismatch`] if any signal is mis-sized (checked
-/// up front, before any work starts).
+/// up front, before any work starts), or
+/// [`WorkloadError::WorkerPanicked`] if a transform worker dies.
 pub fn transform_all_parallel(
     plan: &Fft,
     batch: &mut [Vec<Complex>],
@@ -69,18 +70,27 @@ pub fn transform_all_parallel(
         return Ok(());
     }
     let chunk = batch.len().div_ceil(threads);
+    const KERNEL: &str = "FFT batch transform";
     crossbeam::scope(|scope| {
-        for piece in batch.chunks_mut(chunk) {
-            scope.spawn(move |_| {
-                for signal in piece.iter_mut() {
-                    plan.transform(signal, direction)
-                        .expect("lengths validated up front");
-                }
-            });
+        let handles: Vec<_> = batch
+            .chunks_mut(chunk)
+            .map(|piece| {
+                scope.spawn(move |_| -> Result<(), WorkloadError> {
+                    for signal in piece.iter_mut() {
+                        plan.transform(signal, direction)?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle
+                .join()
+                .map_err(|_| WorkloadError::WorkerPanicked { kernel: KERNEL })??;
         }
+        Ok(())
     })
-    .expect("transform workers do not panic");
-    Ok(())
+    .map_err(|_| WorkloadError::WorkerPanicked { kernel: KERNEL })?
 }
 
 #[cfg(test)]

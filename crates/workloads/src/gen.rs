@@ -37,15 +37,12 @@ pub fn random_signal(len: usize, seed: u64) -> Vec<Complex> {
 pub fn random_portfolio(len: usize, seed: u64) -> Vec<OptionParams> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..len)
-        .map(|_| {
-            OptionParams::new(
-                rng.gen_range(5.0f32..250.0),
-                rng.gen_range(5.0f32..250.0),
-                rng.gen_range(0.0f32..0.10),
-                rng.gen_range(0.05f32..0.90),
-                rng.gen_range(0.05f32..4.0),
-            )
-            .expect("generated ranges are valid")
+        .map(|_| OptionParams {
+            spot: rng.gen_range(5.0f32..250.0),
+            strike: rng.gen_range(5.0f32..250.0),
+            rate: rng.gen_range(0.0f32..0.10),
+            volatility: rng.gen_range(0.05f32..0.90),
+            time: rng.gen_range(0.05f32..4.0),
         })
         .collect()
 }

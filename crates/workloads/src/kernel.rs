@@ -43,6 +43,12 @@ pub enum WorkloadError {
         /// Shape of the right operand as `(rows, cols)`.
         right: (usize, usize),
     },
+    /// A worker thread of a parallel kernel panicked; the output buffer
+    /// must be treated as poisoned and discarded.
+    WorkerPanicked {
+        /// The parallel kernel whose scope observed the panic.
+        kernel: &'static str,
+    },
 }
 
 impl fmt::Display for WorkloadError {
@@ -64,6 +70,9 @@ impl fmt::Display for WorkloadError {
                     "shape {}x{} does not match shape {}x{}",
                     left.0, left.1, right.0, right.1
                 )
+            }
+            WorkloadError::WorkerPanicked { kernel } => {
+                write!(f, "a {kernel} worker thread panicked")
             }
         }
     }
@@ -168,6 +177,31 @@ impl Workload {
             return Err(WorkloadError::NotPowerOfTwo { size: n });
         }
         Ok(Workload { kind: WorkloadKind::Fft, size: n })
+    }
+
+    /// An `N × N` dense matrix multiplication with the dimension
+    /// checked at compile time.
+    ///
+    /// The `N > 0` check is evaluated during const evaluation (an
+    /// invalid `N` fails the build), so this constructor is infallible
+    /// at runtime — prefer it over [`Workload::mmm`] wherever the
+    /// dimension is a constant.
+    pub const fn mmm_const<const N: usize>() -> Self {
+        const { assert!(N > 0, "matrix dimension must be nonzero") };
+        Workload { kind: WorkloadKind::Mmm, size: N }
+    }
+
+    /// An `N`-point complex FFT with the size checked at compile time.
+    ///
+    /// The power-of-two check is evaluated during const evaluation (an
+    /// invalid `N` fails the build), so this constructor is infallible
+    /// at runtime — prefer it over [`Workload::fft`] wherever the size
+    /// is a constant.
+    pub const fn fft_const<const N: usize>() -> Self {
+        const {
+            assert!(N >= 2 && N.is_power_of_two(), "FFT size must be a power of two >= 2");
+        };
+        Workload { kind: WorkloadKind::Fft, size: N }
     }
 
     /// Black-Scholes option pricing (size is per-option, so 1).

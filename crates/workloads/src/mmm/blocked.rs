@@ -56,6 +56,7 @@ pub(crate) fn multiply_into(
                 for i in ii..i_hi {
                     for k in kk..k_hi {
                         let aik = a.get(i, k);
+                        // ucore-lint: allow(float-eq): exact-zero sparsity skip; skipping only IEEE ±0.0 terms cannot change the sum
                         if aik == 0.0 {
                             continue;
                         }
@@ -91,6 +92,7 @@ pub(crate) fn multiply_rows_to_slice(
             let out_base = (i - row_start) * n;
             for k in kk..k_hi {
                 let aik = a.get(i, k);
+                // ucore-lint: allow(float-eq): exact-zero sparsity skip; skipping only IEEE ±0.0 terms cannot change the sum
                 if aik == 0.0 {
                     continue;
                 }

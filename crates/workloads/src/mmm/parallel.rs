@@ -24,8 +24,9 @@ use crate::kernel::WorkloadError;
 ///
 /// # Errors
 ///
-/// Returns [`WorkloadError::LengthMismatch`] for non-conformable shapes
-/// and [`WorkloadError::ZeroSize`] for a zero block size or thread count.
+/// Returns [`WorkloadError::LengthMismatch`] for non-conformable shapes,
+/// [`WorkloadError::ZeroSize`] for a zero block size or thread count, and
+/// [`WorkloadError::WorkerPanicked`] if a worker thread dies.
 pub fn multiply(
     a: &Matrix,
     b: &Matrix,
@@ -58,7 +59,7 @@ pub fn multiply(
             });
         }
     })
-    .expect("worker threads do not panic");
+    .map_err(|_| WorkloadError::WorkerPanicked { kernel: "parallel MMM" })?;
     Ok(c)
 }
 

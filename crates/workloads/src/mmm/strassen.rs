@@ -99,7 +99,12 @@ fn quadrant(src: &Matrix, row0: usize, col0: usize, half: usize) -> Matrix {
 
 fn strassen_square(a: &Matrix, b: &Matrix, dim: usize) -> Matrix {
     if dim <= CROSSOVER {
-        return blocked::multiply(a, b, 32).expect("square operands are conformable");
+        // The recursion only reaches this leaf with conformable square
+        // operands, so the blocked inner loop runs directly, bypassing
+        // `blocked::multiply`'s fallible shape checks.
+        let mut out = Matrix::zeros(dim, dim);
+        blocked::multiply_rows_to_slice(a, b, out.as_mut_slice(), 32, 0, dim);
+        return out;
     }
     let h = dim / 2;
     let a11 = quadrant(a, 0, 0, h);
