@@ -32,16 +32,26 @@
 //! uninterrupted run. `--out PATH` writes the rendered output through
 //! an atomic temp-file+fsync+rename, so an artifact on disk is never
 //! half-written.
+//!
+//! Observability composes the same way `--stats` does: `--metrics PATH`
+//! writes a Prometheus-style snapshot of the process metrics registry,
+//! `--trace PATH` records structured spans into a bounded ring buffer
+//! and writes the binary trace, and `--profile` reduces that trace to a
+//! per-phase self/total table on stderr. None of the three perturbs
+//! stdout: the rendered figure bytes are identical with and without
+//! them, at any thread count.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 use ucore_bench::{figures, scenarios, tables};
+use ucore_obs::MetricsSnapshot;
 use ucore_project::durability::{self, DurabilityConfig, DurabilityGuard};
 
 fn usage() -> &'static str {
     "usage: repro [--stats] [--max-failures N] [--journal PATH] [--resume] \
      [--timeout-ms N] [--retries N] [--out PATH] \
+     [--metrics PATH] [--trace PATH] [--profile] \
      [--all | --experiments | --table N | --figure N | --scenario N | --json figure-N | --csv figure-N]\n\
      tables: 1-6; figures: 2-10; scenarios: 1-6; json/csv: figures 6-10\n\
      --stats: print evaluation/cache/sweep/durability counters to stderr\n\
@@ -50,7 +60,10 @@ fn usage() -> &'static str {
      --resume: replay the journal first; only missing points are re-evaluated (requires --journal)\n\
      --timeout-ms N: per-point watchdog deadline; stuck points become Failed{timeout}\n\
      --retries N: retry failed points up to N times with deterministic backoff (default 0)\n\
-     --out PATH: write stdout output to PATH via atomic temp+fsync+rename"
+     --out PATH: write stdout output to PATH via atomic temp+fsync+rename\n\
+     --metrics PATH: write a Prometheus-style metrics snapshot to PATH (atomic)\n\
+     --trace PATH: record structured spans and write the binary trace to PATH (atomic)\n\
+     --profile: print a per-phase span profile (self/total time) to stderr"
 }
 
 /// Every flag the driver understands, for the "did you mean" hint.
@@ -63,13 +76,16 @@ const KNOWN_FLAGS: &[&str] = &[
     "--journal",
     "--json",
     "--max-failures",
+    "--metrics",
     "--out",
+    "--profile",
     "--resume",
     "--retries",
     "--scenario",
     "--stats",
     "--table",
     "--timeout-ms",
+    "--trace",
 ];
 
 /// Edit distance between two flags, for near-miss suggestions.
@@ -119,6 +135,9 @@ struct Cli {
     timeout_ms: Option<u64>,
     retries: u32,
     out: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    profile: bool,
     command: Command,
 }
 
@@ -130,6 +149,9 @@ fn parse(args: Vec<String>) -> Result<Cli, String> {
     let mut timeout_ms: Option<u64> = None;
     let mut retries: u32 = 0;
     let mut out: Option<PathBuf> = None;
+    let mut metrics: Option<PathBuf> = None;
+    let mut trace: Option<PathBuf> = None;
+    let mut profile = false;
     let mut command: Option<Command> = None;
     let set = |slot: &mut Option<Command>, c: Command| -> Result<(), String> {
         if slot.is_some() {
@@ -146,6 +168,7 @@ fn parse(args: Vec<String>) -> Result<Cli, String> {
         match arg.as_str() {
             "--stats" => stats = true,
             "--resume" => resume = true,
+            "--profile" => profile = true,
             "--help" | "-h" => set(&mut command, Command::Help)?,
             "--all" => set(&mut command, Command::All)?,
             "--experiments" => set(&mut command, Command::Experiments)?,
@@ -163,6 +186,12 @@ fn parse(args: Vec<String>) -> Result<Cli, String> {
             }
             "--out" => {
                 out = Some(PathBuf::from(value_for("--out")?));
+            }
+            "--metrics" => {
+                metrics = Some(PathBuf::from(value_for("--metrics")?));
+            }
+            "--trace" => {
+                trace = Some(PathBuf::from(value_for("--trace")?));
             }
             "--timeout-ms" => {
                 let v = value_for("--timeout-ms")?;
@@ -223,6 +252,9 @@ fn parse(args: Vec<String>) -> Result<Cli, String> {
         timeout_ms,
         retries,
         out,
+        metrics,
+        trace,
+        profile,
         command: command.unwrap_or(Command::All),
     })
 }
@@ -278,11 +310,20 @@ fn projection(which: &str) -> Result<ucore_project::FigureData, Box<dyn std::err
     })
 }
 
-fn print_stats(total: Duration) {
-    let cache = ucore_core::EvalCache::global().stats();
-    let totals = ucore_project::outcome_totals();
-    let durability = ucore_project::durability_totals();
-    let dropped = ucore_project::failures_dropped();
+/// Renders `--stats` from one coherent [`MetricsSnapshot`], taken after
+/// every sweep worker has joined. The old implementation read each
+/// atomic counter independently (and some twice), so the cache line and
+/// the points line could disagree mid-run; a single snapshot cannot.
+fn print_stats(snapshot: &MetricsSnapshot, total: Duration) {
+    let cache_hits = snapshot.counter("cache.hits");
+    let cache_misses = snapshot.counter("cache.misses");
+    let cache_lookups = snapshot.counter("cache.lookups");
+    let cache_entries = snapshot.gauge("cache.entries").unwrap_or(0.0) as u64;
+    let hit_rate = if cache_lookups == 0 {
+        0.0
+    } else {
+        cache_hits as f64 / cache_lookups as f64
+    };
     eprintln!("--- repro --stats ---");
     for (i, s) in ucore_project::sweep::drain_phase_log().iter().enumerate() {
         eprintln!(
@@ -302,42 +343,45 @@ fn print_stats(total: Duration) {
     }
     eprintln!(
         "points: {} ok, {} infeasible, {} failed",
-        totals.ok, totals.infeasible, totals.failed,
+        snapshot.counter("points.ok"),
+        snapshot.counter("points.infeasible"),
+        snapshot.counter("points.failed"),
     );
-    eprintln!("evaluations run: {}", cache.misses);
+    eprintln!("evaluations run: {cache_misses}");
     eprintln!(
         "cache: {} hits, {} misses, {} entries, {:.1}% hit rate",
-        cache.hits,
-        cache.misses,
-        cache.entries,
-        cache.hit_rate() * 100.0,
+        cache_hits,
+        cache_misses,
+        cache_entries,
+        hit_rate * 100.0,
     );
     eprintln!(
         "durability: {} journal hits, {} stale journal records, {} retries",
-        durability.journal_hits, durability.journal_stale, durability.retries,
+        snapshot.counter("journal.hits"),
+        snapshot.counter("journal.stale"),
+        snapshot.counter("points.retries"),
     );
     eprintln!(
         "failure log: {} retained (cap {}), {} dropped",
         ucore_project::failure_diagnostics().len(),
         ucore_project::MAX_RETAINED_FAILURES,
-        dropped,
+        snapshot.counter("failures.dropped"),
     );
     eprintln!("total wall time: {:.3} ms", total.as_secs_f64() * 1e3);
 }
 
 /// The structured diagnostic printed when contained failures exceed the
 /// `--max-failures` threshold.
-fn print_failure_diagnostic(max_failures: u64) {
-    let totals = ucore_project::outcome_totals();
+fn print_failure_diagnostic(snapshot: &MetricsSnapshot, max_failures: u64) {
     eprintln!("error: sweep failures exceeded --max-failures");
-    eprintln!("  points_failed: {}", totals.failed);
+    eprintln!("  points_failed: {}", snapshot.counter("points.failed"));
     eprintln!("  max_failures: {max_failures}");
-    eprintln!("  points_ok: {}", totals.ok);
-    eprintln!("  points_infeasible: {}", totals.infeasible);
+    eprintln!("  points_ok: {}", snapshot.counter("points.ok"));
+    eprintln!("  points_infeasible: {}", snapshot.counter("points.infeasible"));
     for d in ucore_project::failure_diagnostics() {
         eprintln!("  failure at point {}: {}", d.index, d.panic_msg);
     }
-    let dropped = ucore_project::failures_dropped();
+    let dropped = snapshot.counter("failures.dropped");
     if dropped > 0 {
         eprintln!(
             "  ({dropped} further failure(s) beyond the {}-entry log were dropped)",
@@ -415,6 +459,33 @@ fn run(command: &Command, out: Option<&std::path::Path>) -> Result<(), Box<dyn s
     Ok(())
 }
 
+/// Writes the `--metrics` / `--trace` artifacts and prints the
+/// `--profile` report, all from state captured after the run.
+fn write_observability(cli: &Cli, snapshot: &MetricsSnapshot) -> Result<(), String> {
+    if let Some(path) = &cli.metrics {
+        ucore_project::atomic_write(path, snapshot.render_prometheus().as_bytes())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    if cli.trace.is_some() || cli.profile {
+        let trace = ucore_obs::trace::snapshot().unwrap_or_default();
+        if let Some(path) = &cli.trace {
+            ucore_project::atomic_write(path, &trace.encode())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        }
+        if cli.profile {
+            let report = ucore_obs::profile::reduce(&trace);
+            eprintln!("--- repro --profile ---");
+            eprint!("{}", report.render());
+            let folded = ucore_obs::profile::folded_stacks(&trace);
+            if !folded.is_empty() {
+                eprintln!("folded stacks (flamegraph.pl input):");
+                eprint!("{folded}");
+            }
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse(args) {
@@ -432,24 +503,36 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Span recording is guard-scoped: armed only when the run will
+    // consume the buffer. Metrics counters are always live (they are
+    // plain atomics), so `--metrics`/`--stats` need no arming.
+    let _trace_guard = (cli.trace.is_some() || cli.profile)
+        .then(|| ucore_obs::trace::start(ucore_obs::trace::DEFAULT_CAPACITY));
     let start = Instant::now();
     let outcome = run(&cli.command, cli.out.as_deref());
+    // One coherent registry snapshot after all sweep workers have
+    // joined; every consumer below (stats, metrics file, failure
+    // policing) reads this snapshot, never the live counters.
+    let snapshot = ucore_obs::registry().snapshot();
     if cli.stats {
-        print_stats(start.elapsed());
+        print_stats(&snapshot, start.elapsed());
     }
-    let code = match outcome {
+    let mut code = match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("{e}");
             ExitCode::FAILURE
         }
     };
+    if let Err(e) = write_observability(&cli, &snapshot) {
+        eprintln!("{e}");
+        code = ExitCode::FAILURE;
+    }
     // Fault-containment accounting: rendering succeeded point-by-point,
     // but the run as a whole is only healthy if contained failures stay
     // within the caller's tolerance.
-    let failed = ucore_project::outcome_totals().failed;
-    if failed > cli.max_failures {
-        print_failure_diagnostic(cli.max_failures);
+    if snapshot.counter("points.failed") > cli.max_failures {
+        print_failure_diagnostic(&snapshot, cli.max_failures);
         return ExitCode::from(2);
     }
     code

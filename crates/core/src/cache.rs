@@ -26,8 +26,8 @@ use crate::optimize::{Objective, OptimalDesign, Optimizer};
 use crate::units::ParallelFraction;
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+use ucore_obs::{Counter, Gauge};
 
 /// An `f64` reduced to hashable canonical bits.
 ///
@@ -167,24 +167,56 @@ impl CacheStats {
 /// lock; the first evaluation of a point runs *outside* any lock (the
 /// optimizer sweep is the expensive part) and then takes the exclusive
 /// lock only to insert, so concurrent sweeps scale.
-#[derive(Debug, Default)]
+///
+/// Activity counters are [`ucore_obs`] instruments. A private cache
+/// ([`EvalCache::new`]) carries detached instruments, so tests keep
+/// exact per-instance stats; the [`EvalCache::global`] cache registers
+/// its instruments in the process-wide metrics registry as
+/// `cache.hits`, `cache.misses`, `cache.lookups`, and the
+/// `cache.entries` gauge, making `repro --stats` a rendered view of the
+/// registry.
+#[derive(Debug)]
 pub struct EvalCache {
     map: RwLock<HashMap<EvalKey, Result<OptimalDesign, ModelError>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    lookups: Arc<Counter>,
+    entries: Arc<Gauge>,
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        EvalCache {
+            map: RwLock::new(HashMap::new()),
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
+            lookups: Arc::new(Counter::new()),
+            entries: Arc::new(Gauge::new()),
+        }
+    }
 }
 
 impl EvalCache {
-    /// An empty cache.
+    /// An empty cache with detached (unregistered) instruments.
     pub fn new() -> Self {
         EvalCache::default()
     }
 
     /// The process-wide cache shared by the projection figures and
-    /// scenarios (and anything else that opts in).
+    /// scenarios (and anything else that opts in). Its counters are
+    /// registered in the global metrics registry under `cache.*`.
     pub fn global() -> &'static Arc<EvalCache> {
         static GLOBAL: OnceLock<Arc<EvalCache>> = OnceLock::new();
-        GLOBAL.get_or_init(|| Arc::new(EvalCache::new()))
+        GLOBAL.get_or_init(|| {
+            let registry = ucore_obs::registry();
+            Arc::new(EvalCache {
+                map: RwLock::new(HashMap::new()),
+                hits: registry.counter("cache.hits"),
+                misses: registry.counter("cache.misses"),
+                lookups: registry.counter("cache.lookups"),
+                entries: registry.gauge("cache.entries"),
+            })
+        })
     }
 
     /// Memoized [`Optimizer::optimize`]: returns the cached result for
@@ -204,29 +236,38 @@ impl EvalCache {
     ) -> Result<OptimalDesign, ModelError> {
         let key = EvalKey::new(optimizer, spec, budgets, f);
         if let Some(cached) = self.map.read().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
+            self.lookups.inc();
             return cached.clone();
         }
         let result = optimizer.optimize(spec, budgets, f);
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
+        self.lookups.inc();
         // A racing thread may have inserted the same key meanwhile; both
         // computed the same pure function, so either value is correct.
-        self.map.write().insert(key, result.clone());
+        let mut map = self.map.write();
+        map.insert(key, result.clone());
+        // Published under the write lock, so the gauge settles on the
+        // final map size.
+        self.entries.set(map.len() as f64);
+        drop(map);
         result
     }
 
     /// Activity counters and current size.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
             entries: self.map.read().len(),
         }
     }
 
     /// Drops all stored entries (counters keep accumulating).
     pub fn clear(&self) {
-        self.map.write().clear();
+        let mut map = self.map.write();
+        map.clear();
+        self.entries.set(0.0);
     }
 }
 

@@ -8,7 +8,10 @@
 //! output, and iterating a `HashMap`/`HashSet` (random per-process seed
 //! order) while serializing. This rule polices the files that produce
 //! output bytes: the sweep engine, the journal, figure/result assembly,
-//! and every renderer in `ucore-report`.
+//! every renderer in `ucore-report`, and all of `ucore-obs` (whose
+//! snapshots and traces are diffed byte-for-byte in golden tests; its
+//! single sanctioned wall-clock channel carries a reasoned
+//! suppression).
 
 use super::Rule;
 use crate::context::FileContext;
@@ -32,7 +35,9 @@ impl Rule for Determinism {
     }
 
     fn applies(&self, rel_path: &str) -> bool {
-        if rel_path.starts_with("crates/report/src/") {
+        if rel_path.starts_with("crates/report/src/")
+            || rel_path.starts_with("crates/obs/src/")
+        {
             return true;
         }
         super::in_model_src(rel_path)
@@ -118,6 +123,8 @@ mod tests {
             "crates/project/src/results.rs",
             "crates/bench/src/figures.rs",
             "crates/report/src/csv.rs",
+            "crates/obs/src/clock.rs",
+            "crates/obs/src/metrics.rs",
         ] {
             assert!(Determinism.applies(path), "{path} should be in scope");
         }

@@ -1,0 +1,258 @@
+//! The span-profile reducer: folds a recorded [`Trace`] into a
+//! per-phase self/total time table and a `flamegraph.pl`-compatible
+//! folded-stack text.
+//!
+//! Events are sorted by their global monotonic tick and replayed
+//! through one reconstructed stack per thread. A phase's **total** time
+//! is wall time between its enter and exit; its **self** time is total
+//! minus the totals of its direct children. Output rows are keyed and
+//! ordered by span name (`BTreeMap`), so the *structure* of a profile
+//! is deterministic even though the times are wall-clock.
+//!
+//! The reducer is defensive about imperfect traces: an exit without a
+//! matching enter (its enter was overwritten after the ring buffer
+//! wrapped) and an enter that never exits (still running at snapshot
+//! time) are counted in [`ProfileReport::unmatched`] rather than
+//! corrupting the table, and [`ProfileReport::dropped`] carries the
+//! buffer's overwrite count so a partial profile says so.
+
+use crate::trace::{SpanKind, Trace};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Accumulated timings for one span name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PhaseProfile {
+    /// Completed enter/exit pairs.
+    pub count: u64,
+    /// Wall nanoseconds between enter and exit, summed.
+    pub total_ns: u64,
+    /// Total minus the totals of direct children, summed.
+    pub self_ns: u64,
+}
+
+/// The reduced profile.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProfileReport {
+    /// Per-phase rows, keyed by span name (deterministic order).
+    pub phases: BTreeMap<String, PhaseProfile>,
+    /// Events the ring buffer overwrote (copied from the trace): > 0
+    /// means the profile undercounts.
+    pub dropped: u64,
+    /// Exits without a live enter plus enters still open at snapshot
+    /// time.
+    pub unmatched: u64,
+}
+
+/// An open frame during stack reconstruction.
+struct Frame {
+    name: u16,
+    enter_wall: u64,
+    child_ns: u64,
+}
+
+/// Replays `trace` into per-thread stacks, invoking `on_exit` for every
+/// completed span with `(stack-below+self, total_ns, self_ns)` — shared
+/// by the table and folded-stack reducers.
+fn replay(trace: &Trace, mut on_exit: impl FnMut(&[Frame], &Frame, u64, u64)) -> u64 {
+    let mut order: Vec<usize> = (0..trace.events.len()).collect();
+    order.sort_by_key(|&i| trace.events.get(i).map(|e| e.tick).unwrap_or(u64::MAX));
+    let mut stacks: BTreeMap<u16, Vec<Frame>> = BTreeMap::new();
+    let mut unmatched = 0u64;
+    for i in order {
+        let Some(ev) = trace.events.get(i) else { continue };
+        let stack = stacks.entry(ev.thread).or_default();
+        match ev.kind {
+            SpanKind::Enter => stack.push(Frame {
+                name: ev.name,
+                enter_wall: ev.wall_ns,
+                child_ns: 0,
+            }),
+            SpanKind::Exit => {
+                // Pop only a matching frame: a mismatch means the enter
+                // was lost to ring-buffer wrap.
+                if stack.last().is_some_and(|f| f.name == ev.name) {
+                    let Some(frame) = stack.pop() else { continue };
+                    let total = ev.wall_ns.saturating_sub(frame.enter_wall);
+                    let own = total.saturating_sub(frame.child_ns);
+                    if let Some(parent) = stack.last_mut() {
+                        parent.child_ns = parent.child_ns.saturating_add(total);
+                    }
+                    on_exit(stack, &frame, total, own);
+                } else {
+                    unmatched += 1;
+                }
+            }
+        }
+    }
+    // Enters still open (spans live at snapshot time, or whose exit was
+    // dropped) are unmatched too.
+    unmatched + stacks.values().map(|s| s.len() as u64).sum::<u64>()
+}
+
+/// Reduces a trace to the per-phase self/total table.
+pub fn reduce(trace: &Trace) -> ProfileReport {
+    let mut phases: BTreeMap<String, PhaseProfile> = BTreeMap::new();
+    let unmatched = replay(trace, |_stack, frame, total, own| {
+        let row = phases.entry(trace.name(frame.name).to_string()).or_default();
+        row.count += 1;
+        row.total_ns = row.total_ns.saturating_add(total);
+        row.self_ns = row.self_ns.saturating_add(own);
+    });
+    ProfileReport { phases, dropped: trace.dropped, unmatched }
+}
+
+/// Renders a trace as `flamegraph.pl` folded stacks: one
+/// `root;child;leaf weight` line per distinct stack, weights in
+/// self-time nanoseconds, lines sorted (deterministic structure).
+pub fn folded_stacks(trace: &Trace) -> String {
+    let mut weights: BTreeMap<String, u64> = BTreeMap::new();
+    replay(trace, |stack, frame, _total, own| {
+        let mut path = String::new();
+        for f in stack {
+            path.push_str(trace.name(f.name));
+            path.push(';');
+        }
+        path.push_str(trace.name(frame.name));
+        let w = weights.entry(path).or_insert(0);
+        *w = w.saturating_add(own);
+    });
+    let mut out = String::new();
+    for (path, weight) in &weights {
+        let _ = writeln!(out, "{path} {weight}");
+    }
+    out
+}
+
+impl ProfileReport {
+    /// A fixed-width human table: one row per phase, name-ordered, with
+    /// count, total ms, and self ms, plus partiality notes when the
+    /// trace was imperfect.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let name_width = self
+            .phases
+            .keys()
+            .map(String::len)
+            .max()
+            .unwrap_or(0)
+            .max("phase".len());
+        let _ = writeln!(
+            out,
+            "{:<name_width$}  {:>8}  {:>12}  {:>12}",
+            "phase", "count", "total ms", "self ms"
+        );
+        for (name, row) in &self.phases {
+            let _ = writeln!(
+                out,
+                "{:<name_width$}  {:>8}  {:>12.3}  {:>12.3}",
+                name,
+                row.count,
+                row.total_ns as f64 / 1e6,
+                row.self_ns as f64 / 1e6,
+            );
+        }
+        if self.dropped > 0 {
+            let _ = writeln!(
+                out,
+                "(partial: {} event(s) overwritten after the trace buffer wrapped)",
+                self.dropped
+            );
+        }
+        if self.unmatched > 0 {
+            let _ = writeln!(
+                out,
+                "(partial: {} span(s) had no matching enter/exit pair)",
+                self.unmatched
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{SpanEvent, SpanKind};
+
+    fn ev(kind: SpanKind, name: u16, thread: u16, tick: u64, wall_ns: u64) -> SpanEvent {
+        SpanEvent {
+            kind,
+            name,
+            thread,
+            depth: 0,
+            sweep_seq: 0,
+            index: 0,
+            tick,
+            wall_ns,
+        }
+    }
+
+    fn nested_trace() -> Trace {
+        // outer [0ns..100ns] wrapping inner [10ns..40ns] on thread 0,
+        // plus a second inner [0ns..25ns] alone on thread 1.
+        Trace {
+            names: vec!["inner".into(), "outer".into()],
+            events: vec![
+                ev(SpanKind::Enter, 1, 0, 0, 0),
+                ev(SpanKind::Enter, 0, 0, 1, 10),
+                ev(SpanKind::Enter, 0, 1, 2, 0),
+                ev(SpanKind::Exit, 0, 1, 3, 25),
+                ev(SpanKind::Exit, 0, 0, 4, 40),
+                ev(SpanKind::Exit, 1, 0, 5, 100),
+            ],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children() {
+        let report = reduce(&nested_trace());
+        assert_eq!(report.unmatched, 0);
+        let outer = &report.phases["outer"];
+        assert_eq!((outer.count, outer.total_ns, outer.self_ns), (1, 100, 70));
+        let inner = &report.phases["inner"];
+        assert_eq!((inner.count, inner.total_ns, inner.self_ns), (2, 55, 55));
+    }
+
+    #[test]
+    fn folded_stacks_are_flamegraph_shaped() {
+        assert_eq!(
+            folded_stacks(&nested_trace()),
+            "inner 25\nouter 70\nouter;inner 30\n"
+        );
+    }
+
+    #[test]
+    fn imperfect_traces_are_reported_not_corrupting() {
+        // An exit with no enter, and an enter that never exits.
+        let trace = Trace {
+            names: vec!["ghost".into(), "open".into()],
+            events: vec![
+                ev(SpanKind::Exit, 0, 0, 0, 10),
+                ev(SpanKind::Enter, 1, 0, 1, 20),
+            ],
+            dropped: 7,
+        };
+        let report = reduce(&trace);
+        assert!(report.phases.is_empty());
+        assert_eq!(report.unmatched, 2);
+        assert_eq!(report.dropped, 7);
+        let rendered = report.render();
+        assert!(rendered.contains("overwritten"), "{rendered}");
+        assert!(rendered.contains("no matching enter/exit"), "{rendered}");
+    }
+
+    #[test]
+    fn table_renders_fixed_width_rows() {
+        let rendered = reduce(&nested_trace()).render();
+        let mut lines = rendered.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("phase"), "{header}");
+        assert!(header.contains("count"));
+        assert!(header.contains("total ms"));
+        assert!(header.contains("self ms"));
+        assert!(rendered.contains("inner"));
+        assert!(rendered.contains("outer"));
+    }
+}

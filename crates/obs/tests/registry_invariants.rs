@@ -1,0 +1,121 @@
+//! Property-based invariants for the metrics registry (ISSUE 5
+//! satellite): bucket counts sum to the recorded total, counter
+//! identities hold once writers quiesce, and snapshots are monotone
+//! across successive reads *while* a concurrent increment storm runs.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use ucore_obs::{Histogram, MetricsSnapshot, Registry};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn histogram_bucket_counts_sum_to_total(
+        values in prop::collection::vec(-1.0e6f64..=1.0e6, 64),
+        bounds in prop::collection::vec(-100.0f64..=100.0, 4),
+    ) {
+        let h = Histogram::new(&bounds);
+        for &v in &values {
+            h.observe(v);
+        }
+        // Hostile extras: NaN and infinities must land in a bucket too.
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.total, values.len() as u64 + 3);
+        prop_assert_eq!(snap.counts.iter().sum::<u64>(), snap.total);
+        prop_assert_eq!(snap.counts.len(), snap.bounds.len() + 1);
+    }
+
+    #[test]
+    fn histogram_is_insensitive_to_observation_order(
+        values in prop::collection::vec(0.0f64..=1.0, 48),
+    ) {
+        // The determinism contract for data-derived histograms: bucket
+        // counts are order-independent, so any permutation (i.e. any
+        // thread schedule) freezes to the same snapshot.
+        let bounds = [0.25, 0.5, 0.75];
+        let forward = Histogram::new(&bounds);
+        let backward = Histogram::new(&bounds);
+        for &v in &values {
+            forward.observe(v);
+        }
+        for &v in values.iter().rev() {
+            backward.observe(v);
+        }
+        prop_assert_eq!(forward.snapshot(), backward.snapshot());
+    }
+
+    #[test]
+    fn storm_preserves_identities_and_snapshot_monotonicity(
+        per_thread in 100usize..=400,
+        threads in 2usize..=6,
+    ) {
+        let r = Registry::new();
+        let hits = r.counter("cache.hits");
+        let misses = r.counter("cache.misses");
+        let lookups = r.counter("cache.lookups");
+        let hist = r.histogram("storm.values", &[0.25, 0.5, 0.75]);
+        let done = AtomicBool::new(false);
+        let monotone = std::thread::scope(|scope| {
+            for t in 0..threads {
+                let (hits, misses, lookups, hist) = (&hits, &misses, &lookups, &hist);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        if (i + t) % 3 == 0 {
+                            hits.inc();
+                        } else {
+                            misses.inc();
+                        }
+                        lookups.inc();
+                        hist.observe((i % 100) as f64 / 100.0);
+                    }
+                });
+            }
+            // A racing reader: every counter must be non-decreasing
+            // across successive snapshots taken mid-storm.
+            let reader = scope.spawn(|| {
+                let names = ["cache.hits", "cache.misses", "cache.lookups"];
+                let mut previous = MetricsSnapshot::default();
+                let mut monotone = true;
+                while !done.load(Ordering::Relaxed) {
+                    let snap = r.snapshot();
+                    monotone &= names
+                        .iter()
+                        .all(|n| snap.counter(n) >= previous.counter(n));
+                    monotone &= snap
+                        .histogram("storm.values")
+                        .map(|h| h.total)
+                        .unwrap_or(0)
+                        >= previous.histogram("storm.values").map(|h| h.total).unwrap_or(0);
+                    previous = snap;
+                }
+                monotone
+            });
+            // Writer handles joined by scope exit ordering: spawn order
+            // does not matter, the scope joins everything; signal the
+            // reader once writers are done by polling the totals.
+            let target = (threads * per_thread) as u64;
+            while lookups.get() < target {
+                std::thread::yield_now();
+            }
+            done.store(true, Ordering::Relaxed);
+            reader.join().unwrap_or(false)
+        });
+        prop_assert!(monotone, "a snapshot observed a counter decreasing");
+        // Quiesced identities: exactly one of hits/misses plus one
+        // lookup per iteration.
+        let snap = r.snapshot();
+        let total = (threads * per_thread) as u64;
+        prop_assert_eq!(snap.counter("cache.lookups"), total);
+        prop_assert_eq!(
+            snap.counter("cache.hits") + snap.counter("cache.misses"),
+            snap.counter("cache.lookups")
+        );
+        let h = snap.histogram("storm.values").cloned().unwrap_or_default();
+        prop_assert_eq!(h.total, total);
+        prop_assert_eq!(h.counts.iter().sum::<u64>(), h.total);
+    }
+}

@@ -150,6 +150,8 @@ impl DurabilityContext {
                 "warning: run journal {} disabled after write failure: {e}",
                 writer.path().display()
             );
+        } else {
+            crate::obs::metrics().journal_appends.inc();
         }
     }
 
@@ -161,6 +163,7 @@ impl DurabilityContext {
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .sync();
+            crate::obs::metrics().journal_syncs.inc();
         }
     }
 }
@@ -244,10 +247,6 @@ pub(crate) fn current() -> Option<Arc<DurabilityContext>> {
 // Process-wide durability counters
 // ---------------------------------------------------------------------
 
-static TOTAL_JOURNAL_HITS: AtomicU64 = AtomicU64::new(0);
-static TOTAL_JOURNAL_STALE: AtomicU64 = AtomicU64::new(0);
-static TOTAL_RETRIES: AtomicU64 = AtomicU64::new(0);
-
 /// Process-wide durability counters (surfaced by `repro --stats`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DurabilityTotals {
@@ -262,25 +261,28 @@ pub struct DurabilityTotals {
     pub retries: u64,
 }
 
-/// A snapshot of the process-wide durability counters.
+/// A snapshot of the process-wide durability counters, read from the
+/// [`ucore_obs`] registry (`journal.hits` / `journal.stale` /
+/// `points.retries`).
 pub fn durability_totals() -> DurabilityTotals {
+    let m = crate::obs::metrics();
     DurabilityTotals {
-        journal_hits: TOTAL_JOURNAL_HITS.load(Ordering::Relaxed),
-        journal_stale: TOTAL_JOURNAL_STALE.load(Ordering::Relaxed),
-        retries: TOTAL_RETRIES.load(Ordering::Relaxed),
+        journal_hits: m.journal_hits.get(),
+        journal_stale: m.journal_stale.get(),
+        retries: m.retries.get(),
     }
 }
 
 pub(crate) fn note_journal_hits(n: u64) {
-    TOTAL_JOURNAL_HITS.fetch_add(n, Ordering::Relaxed);
+    crate::obs::metrics().journal_hits.add(n);
 }
 
 pub(crate) fn note_journal_stale(n: u64) {
-    TOTAL_JOURNAL_STALE.fetch_add(n, Ordering::Relaxed);
+    crate::obs::metrics().journal_stale.add(n);
 }
 
 pub(crate) fn note_retries(n: u64) {
-    TOTAL_RETRIES.fetch_add(n, Ordering::Relaxed);
+    crate::obs::metrics().retries.add(n);
 }
 
 // ---------------------------------------------------------------------

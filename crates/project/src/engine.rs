@@ -188,10 +188,13 @@ impl ProjectionEngine {
         // deadline is armed on this thread.
         crate::durability::watchdog_checkpoint();
         let optimizer = self.optimizer();
-        let best = if use_cache {
-            self.cache.optimize(&optimizer, spec, budgets, f).ok()?
-        } else {
-            optimizer.optimize(spec, budgets, f).ok()?
+        let best = {
+            let _span = ucore_obs::span!("engine.optimize");
+            if use_cache {
+                self.cache.optimize(&optimizer, spec, budgets, f).ok()?
+            } else {
+                optimizer.optimize(spec, budgets, f).ok()?
+            }
         };
         // Normalized energy at this node: linear in the node's power
         // scale. A node with an unusable power scale degrades to a NaN

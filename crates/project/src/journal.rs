@@ -538,6 +538,7 @@ pub struct ReplayReport {
 /// [`JournalError::Io`] on read failure, [`JournalError::Corrupt`] on
 /// an invalid complete record.
 pub fn replay(path: &Path) -> Result<(ReplayMap, ReplayReport), JournalError> {
+    let _span = ucore_obs::span!("journal.replay");
     let bytes = fs::read(path)?;
     let mut map = ReplayMap::empty();
     let mut report = ReplayReport::default();

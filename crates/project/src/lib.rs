@@ -66,6 +66,7 @@ pub mod engine;
 pub mod faultinject;
 pub mod figures;
 pub mod journal;
+mod obs;
 pub mod results;
 pub mod scenario;
 pub mod sweep;

@@ -56,11 +56,12 @@ use crate::durability::{self, DurabilityContext};
 use crate::engine::{DesignId, ProjectionEngine};
 use crate::faultinject::{self, Fault, FaultPlan};
 use crate::journal::{self, JournalRecord, ReplayLookup};
+use crate::obs;
 use crate::results::NodePoint;
 use std::any::Any;
 use std::cell::Cell;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, Once, PoisonError};
 use std::time::{Duration, Instant};
 use ucore_calibrate::WorkloadColumn;
@@ -225,17 +226,16 @@ pub struct OutcomeTotals {
     pub failed: u64,
 }
 
-static TOTAL_OK: AtomicU64 = AtomicU64::new(0);
-static TOTAL_INFEASIBLE: AtomicU64 = AtomicU64::new(0);
-static TOTAL_FAILED: AtomicU64 = AtomicU64::new(0);
-
 /// The process-wide outcome totals (the `repro --stats` /
-/// `--max-failures` counters).
+/// `--max-failures` counters) — since ISSUE 5 a typed view of the
+/// `points.ok` / `points.infeasible` / `points.failed` registry
+/// counters (see [`crate::obs`] for the metric-name contract).
 pub fn outcome_totals() -> OutcomeTotals {
+    let m = obs::metrics();
     OutcomeTotals {
-        ok: TOTAL_OK.load(Ordering::Relaxed),
-        infeasible: TOTAL_INFEASIBLE.load(Ordering::Relaxed),
-        failed: TOTAL_FAILED.load(Ordering::Relaxed),
+        ok: m.ok.get(),
+        infeasible: m.infeasible.get(),
+        failed: m.failed.get(),
     }
 }
 
@@ -254,9 +254,9 @@ pub struct FailureDiagnostic {
 pub const MAX_RETAINED_FAILURES: usize = 64;
 
 static FAILURE_LOG: Mutex<Vec<FailureDiagnostic>> = Mutex::new(Vec::new());
-static FAILURES_DROPPED: AtomicU64 = AtomicU64::new(0);
 
 fn record_failures<'a>(results: impl Iterator<Item = (usize, &'a Outcome)>) {
+    let m = obs::metrics();
     let mut log = FAILURE_LOG
         .lock()
         .unwrap_or_else(PoisonError::into_inner);
@@ -265,18 +265,20 @@ fn record_failures<'a>(results: impl Iterator<Item = (usize, &'a Outcome)>) {
             if log.len() >= MAX_RETAINED_FAILURES {
                 // Keep counting what the bounded log cannot hold, so a
                 // flood of failures is visible (`--stats`), not silent.
-                FAILURES_DROPPED.fetch_add(1, Ordering::Relaxed);
+                m.failures_dropped.inc();
             } else {
                 log.push(FailureDiagnostic { index, panic_msg: panic_msg.clone() });
+                m.failures_retained.inc();
             }
         }
     }
 }
 
 /// Failure diagnostics discarded because the bounded log
-/// ([`MAX_RETAINED_FAILURES`]) was already full.
+/// ([`MAX_RETAINED_FAILURES`]) was already full (the
+/// `failures.dropped` registry counter).
 pub fn failures_dropped() -> u64 {
-    FAILURES_DROPPED.load(Ordering::Relaxed)
+    obs::metrics().failures_dropped.get()
 }
 
 /// A snapshot of the retained per-process failure diagnostics.
@@ -311,6 +313,7 @@ pub fn sweep(
     // the sequence number lines a resumed run's sweeps up with the
     // journaled ones.
     let sweep_seq = dur.map(|d| d.next_sweep_seq()).unwrap_or(0);
+    let _span = ucore_obs::span!("project.sweep", sweep_seq, points.len());
     let cache_before = engine.cache().stats();
     // ucore-lint: allow(determinism): wall-clock feeds only the SweepStats elapsed field, which is observability metadata excluded from output bytes
     let start = Instant::now();
@@ -340,9 +343,20 @@ pub fn sweep(
     let points_failed = resolutions.iter().filter(|r| r.outcome.is_failed()).count();
     let journal_hits = resolutions.iter().filter(|r| r.replayed).count() as u64;
     let retries: u64 = resolutions.iter().map(|r| u64::from(r.retries)).sum();
-    TOTAL_OK.fetch_add(points_ok as u64, Ordering::Relaxed);
-    TOTAL_INFEASIBLE.fetch_add(points_infeasible as u64, Ordering::Relaxed);
-    TOTAL_FAILED.fetch_add(points_failed as u64, Ordering::Relaxed);
+    let m = obs::metrics();
+    m.sweep_batches.inc();
+    m.submitted.add(points.len() as u64);
+    m.ok.add(points_ok as u64);
+    m.infeasible.add(points_infeasible as u64);
+    m.failed.add(points_failed as u64);
+    // Feasible speedups are model outputs, so this histogram is part of
+    // the deterministic snapshot (bucket counts are order-independent).
+    for speedup in resolutions
+        .iter()
+        .filter_map(|r| r.outcome.node_point().map(|p| p.speedup))
+    {
+        m.speedup.observe(speedup);
+    }
     durability::note_journal_hits(journal_hits);
     if points_failed > 0 {
         record_failures(
@@ -426,6 +440,7 @@ fn resolve_point(
     dur: Option<&DurabilityContext>,
     sweep_seq: u64,
 ) -> PointResolution {
+    let _span = ucore_obs::span!("engine.node_point", sweep_seq, index);
     let fingerprint = dur.map(|_| journal::point_fingerprint(point));
     if let (Some(d), Some(fp)) = (dur, fingerprint) {
         match d.lookup(sweep_seq, index, fp) {
@@ -452,6 +467,9 @@ fn resolve_point(
     let max_retries = dur.map(|d| d.retries()).unwrap_or(0);
     let timeout = dur.and_then(|d| d.timeout());
     let mut attempt: u32 = 0;
+    // Wall time routed through the sanctioned obs clock: it feeds only
+    // the `sweep.point_us` timing histogram, never output bytes.
+    let eval_started_ns = ucore_obs::clock::wall_ns();
     let outcome = loop {
         let outcome = evaluate_contained(engine, point, index, use_cache, plan, attempt, timeout);
         if !outcome.is_failed() || attempt >= max_retries {
@@ -460,6 +478,8 @@ fn resolve_point(
         std::thread::sleep(durability::backoff_delay(index, attempt));
         attempt += 1;
     };
+    let elapsed_us = ucore_obs::clock::wall_ns().saturating_sub(eval_started_ns) / 1_000;
+    obs::metrics().point_us.observe(elapsed_us as f64);
     if attempt > 0 {
         durability::note_retries(u64::from(attempt));
     }

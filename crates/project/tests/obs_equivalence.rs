@@ -1,0 +1,73 @@
+//! Differential equivalence: observability must be a pure observer.
+//!
+//! DESIGN.md §14 promises that arming the full observability stack —
+//! span tracing into the ring buffer, metrics counters, the lot — does
+//! not change a single byte of serialized figure output, at any worker
+//! thread count. This suite renders figures 5–10 twice per thread
+//! count, once with tracing fully enabled and once fully disabled, and
+//! diffs the JSON byte for byte. (Metrics counters cannot be "turned
+//! off" — they are always-on atomics — so the enabled/disabled axis is
+//! the trace channel, the only part with an armed/disarmed state.)
+//!
+//! This lives in its own integration-test binary because it owns the
+//! `UCORE_SWEEP_THREADS` process environment variable for its duration.
+
+use ucore_project::figures;
+use ucore_project::results::FigureData;
+
+/// Renders every projected figure at `threads` workers, with span
+/// tracing armed when `traced`.
+fn render(threads: &str, traced: bool) -> Vec<(&'static str, String)> {
+    std::env::set_var("UCORE_SWEEP_THREADS", threads);
+    let _guard = traced.then(|| ucore_obs::trace::start(ucore_obs::trace::DEFAULT_CAPACITY));
+    let json = |fig: FigureData| serde_json::to_string(&fig).expect("figure serializes");
+    let out = vec![
+        ("figure6", json(figures::figure6().expect("figure 6 projects"))),
+        ("figure7", json(figures::figure7().expect("figure 7 projects"))),
+        ("figure8", json(figures::figure8().expect("figure 8 projects"))),
+        ("figure9", json(figures::figure9().expect("figure 9 projects"))),
+        ("figure10", json(figures::figure10().expect("figure 10 projects"))),
+    ];
+    std::env::remove_var("UCORE_SWEEP_THREADS");
+    out
+}
+
+#[test]
+fn figure_json_is_byte_identical_with_and_without_tracing() {
+    for threads in ["1", "2", "4", "8"] {
+        let plain = render(threads, false);
+        let traced = render(threads, true);
+        for ((name, expected), (_, got)) in plain.iter().zip(traced.iter()) {
+            assert_eq!(got, expected, "{name} at {threads} threads (traced vs not)");
+        }
+    }
+}
+
+#[test]
+fn traced_run_yields_a_decodable_trace_with_balanced_spans() {
+    std::env::set_var("UCORE_SWEEP_THREADS", "4");
+    let guard = ucore_obs::trace::start(ucore_obs::trace::DEFAULT_CAPACITY);
+    figures::figure6().expect("figure 6 projects");
+    let encoded = ucore_obs::trace::encode().expect("tracing is armed");
+    drop(guard);
+    std::env::remove_var("UCORE_SWEEP_THREADS");
+
+    let trace = ucore_obs::Trace::decode(&encoded).expect("trace round-trips");
+    assert_eq!(trace.dropped, 0, "figure 6 fits the default ring");
+    // Figure 6 sweeps one batch of 120 points; every point opens an
+    // `engine.node_point` span and (one optimizer call per point) an
+    // `engine.optimize` span, plus the one `project.sweep` span.
+    let mut enters = std::collections::BTreeMap::new();
+    let mut exits = std::collections::BTreeMap::new();
+    for event in &trace.events {
+        let name = trace.name(event.name);
+        match event.kind {
+            ucore_obs::SpanKind::Enter => *enters.entry(name).or_insert(0u64) += 1,
+            ucore_obs::SpanKind::Exit => *exits.entry(name).or_insert(0u64) += 1,
+        }
+    }
+    assert_eq!(enters, exits, "every span enter has a matching exit");
+    assert_eq!(enters.get("project.sweep"), Some(&1));
+    assert_eq!(enters.get("engine.node_point"), Some(&120));
+    assert_eq!(enters.get("engine.optimize"), Some(&120));
+}

@@ -23,6 +23,10 @@
 //!   deterministic retry-with-backoff, and crash-safe atomic exports.
 //! * [`report`] — ASCII tables/charts and CSV export used by the
 //!   reproduction binaries.
+//! * [`obs`] — the deterministic observability layer: a typed metrics
+//!   registry, structured span tracing into a bounded ring buffer, and
+//!   a span-profile reducer. Guaranteed to never perturb figure output
+//!   bytes (`repro --metrics/--trace/--profile`).
 //! * [`error`] — the workspace-wide error taxonomy: [`UcoreError`]
 //!   unifies every subsystem's typed error behind one `?`-composable
 //!   type.
@@ -55,6 +59,7 @@ pub use ucore_calibrate as calibrate;
 pub use ucore_core as model;
 pub use ucore_devices as devices;
 pub use ucore_itrs as itrs;
+pub use ucore_obs as obs;
 pub use ucore_project as project;
 pub use ucore_report as report;
 pub use ucore_simdev as simdev;
