@@ -44,7 +44,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
-use ucore_bench::{figures, scenarios, tables};
+use ucore_bench::{figures, scenarios, snapshot, tables};
 use ucore_obs::MetricsSnapshot;
 use ucore_project::durability::{self, DurabilityConfig, DurabilityGuard};
 
@@ -52,8 +52,10 @@ fn usage() -> &'static str {
     "usage: repro [--stats] [--max-failures N] [--journal PATH] [--resume] \
      [--timeout-ms N] [--retries N] [--out PATH] \
      [--metrics PATH] [--trace PATH] [--profile] \
-     [--all | --experiments | --table N | --figure N | --scenario N | --json figure-N | --csv figure-N]\n\
-     tables: 1-6; figures: 2-10; scenarios: 1-6; json/csv: figures 6-10\n\
+     [--bench-dir DIR] [--bench-against PATH] [--bench-current PATH] [--bench-tolerance X] \
+     [--all | --experiments | --table N | --figure N | --scenario N | --json figure-N | --csv figure-N \
+     | --bench-snapshot TOPIC | --bench-check TOPIC]\n\
+     tables: 1-6; figures: 2-10; scenarios: 1-6; json/csv: figures 6-10; bench topics: kernels|sweep|all\n\
      --stats: print evaluation/cache/sweep/durability counters to stderr\n\
      --max-failures N: exit nonzero if more than N sweep points fail (default 0)\n\
      --journal PATH: stream completed sweep points to an append-only checksummed journal\n\
@@ -63,12 +65,25 @@ fn usage() -> &'static str {
      --out PATH: write stdout output to PATH via atomic temp+fsync+rename\n\
      --metrics PATH: write a Prometheus-style metrics snapshot to PATH (atomic)\n\
      --trace PATH: record structured spans and write the binary trace to PATH (atomic)\n\
-     --profile: print a per-phase span profile (self/total time) to stderr"
+     --profile: print a per-phase span profile (self/total time) to stderr\n\
+     --bench-snapshot TOPIC: measure the topic's benches and write BENCH_<topic>.json (atomic)\n\
+     --bench-check TOPIC: re-measure and compare against the recorded BENCH_<topic>.json;\n\
+         exits 2 when any bench ran more than the tolerance slower than its baseline\n\
+     --bench-dir DIR: directory holding BENCH_*.json files (default .)\n\
+     --bench-against PATH: baseline snapshot for --bench-check (single topic only)\n\
+     --bench-current PATH: compare this recorded snapshot instead of re-measuring (single topic only)\n\
+     --bench-tolerance X: slowdown ratio treated as a regression (default 2.0)"
 }
 
 /// Every flag the driver understands, for the "did you mean" hint.
 const KNOWN_FLAGS: &[&str] = &[
     "--all",
+    "--bench-against",
+    "--bench-check",
+    "--bench-current",
+    "--bench-dir",
+    "--bench-snapshot",
+    "--bench-tolerance",
     "--csv",
     "--experiments",
     "--figure",
@@ -125,6 +140,8 @@ enum Command {
     Scenario(String),
     Json(String),
     Csv(String),
+    BenchSnapshot(String),
+    BenchCheck(String),
 }
 
 struct Cli {
@@ -138,6 +155,10 @@ struct Cli {
     metrics: Option<PathBuf>,
     trace: Option<PathBuf>,
     profile: bool,
+    bench_dir: PathBuf,
+    bench_against: Option<PathBuf>,
+    bench_current: Option<PathBuf>,
+    bench_tolerance: f64,
     command: Command,
 }
 
@@ -152,6 +173,10 @@ fn parse(args: Vec<String>) -> Result<Cli, String> {
     let mut metrics: Option<PathBuf> = None;
     let mut trace: Option<PathBuf> = None;
     let mut profile = false;
+    let mut bench_dir = PathBuf::from(".");
+    let mut bench_against: Option<PathBuf> = None;
+    let mut bench_current: Option<PathBuf> = None;
+    let mut bench_tolerance = ucore_bench::snapshot::DEFAULT_TOLERANCE;
     let mut command: Option<Command> = None;
     let set = |slot: &mut Option<Command>, c: Command| -> Result<(), String> {
         if slot.is_some() {
@@ -232,6 +257,35 @@ fn parse(args: Vec<String>) -> Result<Cli, String> {
                 let v = value_for("--csv")?;
                 set(&mut command, Command::Csv(v))?;
             }
+            "--bench-snapshot" => {
+                let v = value_for("--bench-snapshot")?;
+                set(&mut command, Command::BenchSnapshot(v))?;
+            }
+            "--bench-check" => {
+                let v = value_for("--bench-check")?;
+                set(&mut command, Command::BenchCheck(v))?;
+            }
+            "--bench-dir" => {
+                bench_dir = PathBuf::from(value_for("--bench-dir")?);
+            }
+            "--bench-against" => {
+                bench_against = Some(PathBuf::from(value_for("--bench-against")?));
+            }
+            "--bench-current" => {
+                bench_current = Some(PathBuf::from(value_for("--bench-current")?));
+            }
+            "--bench-tolerance" => {
+                let v = value_for("--bench-tolerance")?;
+                bench_tolerance =
+                    v.parse().ok().filter(|&t: &f64| t.is_finite() && t >= 1.0).ok_or_else(
+                        || {
+                            format!(
+                                "--bench-tolerance value {v:?} is not a finite ratio >= 1.0\n{}",
+                                usage()
+                            )
+                        },
+                    )?;
+            }
             other => {
                 let kind = if other.starts_with('-') { "flag" } else { "argument" };
                 let hint = did_you_mean(other)
@@ -244,6 +298,18 @@ fn parse(args: Vec<String>) -> Result<Cli, String> {
     if resume && journal.is_none() {
         return Err(format!("--resume requires --journal PATH\n{}", usage()));
     }
+    if bench_against.is_some() || bench_current.is_some() {
+        match &command {
+            Some(Command::BenchCheck(topic)) if topic != "all" => {}
+            _ => {
+                return Err(format!(
+                    "--bench-against/--bench-current require --bench-check with a \
+                     single topic (kernels|sweep)\n{}",
+                    usage()
+                ))
+            }
+        }
+    }
     Ok(Cli {
         stats,
         max_failures,
@@ -255,8 +321,81 @@ fn parse(args: Vec<String>) -> Result<Cli, String> {
         metrics,
         trace,
         profile,
+        bench_dir,
+        bench_against,
+        bench_current,
+        bench_tolerance,
         command: command.unwrap_or(Command::All),
     })
+}
+
+/// Expands a bench topic argument into concrete topics.
+fn bench_topics(topic: &str) -> Result<Vec<&'static str>, String> {
+    match topic {
+        "all" => Ok(snapshot::TOPICS.to_vec()),
+        other => snapshot::TOPICS
+            .iter()
+            .find(|&&t| t == other)
+            .map(|&t| vec![t])
+            .ok_or_else(|| {
+                format!("bench topic {other:?} is not one of kernels|sweep|all\n{}", usage())
+            }),
+    }
+}
+
+fn read_snapshot(path: &std::path::Path) -> Result<snapshot::BenchSnapshot, String> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| format!("cannot read snapshot {}: {e}", path.display()))?;
+    snapshot::BenchSnapshot::from_slice(&bytes)
+        .map_err(|e| format!("snapshot {}: {e}", path.display()))
+}
+
+/// `--bench-snapshot`: measure each topic and record it, atomically.
+fn run_bench_snapshot(cli: &Cli, topic: &str) -> Result<(), String> {
+    let budget = snapshot::budget_from_env();
+    for t in bench_topics(topic)? {
+        let snap = snapshot::capture(t, budget).map_err(|e| e.to_string())?;
+        let path = cli.bench_dir.join(snapshot::file_name(t));
+        let json = snap.to_json().map_err(|e| e.to_string())?;
+        ucore_project::atomic_write(&path, json.as_bytes())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("bench-snapshot: wrote {} ({} entries)", path.display(), snap.entries.len());
+    }
+    Ok(())
+}
+
+/// `--bench-check`: compare (fresh or recorded) measurements against the
+/// recorded baseline. Returns the number of tolerance breaches.
+fn run_bench_check(cli: &Cli, topic: &str) -> Result<usize, String> {
+    let budget = snapshot::budget_from_env();
+    let mut breaches_total = 0usize;
+    for t in bench_topics(topic)? {
+        let baseline_path = cli
+            .bench_against
+            .clone()
+            .unwrap_or_else(|| cli.bench_dir.join(snapshot::file_name(t)));
+        let baseline = read_snapshot(&baseline_path)?;
+        let current = match &cli.bench_current {
+            Some(path) => read_snapshot(path)?,
+            None => snapshot::capture(t, budget).map_err(|e| e.to_string())?,
+        };
+        let breaches = snapshot::compare(&baseline, &current, cli.bench_tolerance)
+            .map_err(|e| e.to_string())?;
+        if breaches.is_empty() {
+            println!(
+                "bench-check {t}: ok ({} entries within x{:.2} of {})",
+                baseline.entries.len(),
+                cli.bench_tolerance,
+                baseline_path.display()
+            );
+        } else {
+            for breach in &breaches {
+                eprintln!("{breach}");
+            }
+            breaches_total += breaches.len();
+        }
+    }
+    Ok(breaches_total)
 }
 
 /// Activates the durability layer when any of its flags were given.
@@ -443,6 +582,8 @@ fn render(command: &Command) -> Result<String, Box<dyn std::error::Error>> {
             format!("{}\n", serde_json::to_string_pretty(&projection(which)?)?)
         }
         Command::Csv(which) => format!("{}\n", figures::figure_csv(&projection(which)?)),
+        // Handled in main before render is reached.
+        Command::BenchSnapshot(_) | Command::BenchCheck(_) => String::new(),
     };
     Ok(out)
 }
@@ -495,6 +636,38 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Bench commands are measurement, not rendering: they bypass the
+    // durability/observability plumbing and the figure pipeline. Exit
+    // codes match the driver's convention — 1 for usage/IO errors, 2
+    // for a policy breach (here: a bench past its tolerance).
+    match &cli.command {
+        Command::BenchSnapshot(topic) => {
+            return match run_bench_snapshot(&cli, topic) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Command::BenchCheck(topic) => {
+            return match run_bench_check(&cli, topic) {
+                Ok(0) => ExitCode::SUCCESS,
+                Ok(n) => {
+                    eprintln!(
+                        "bench-check failed: {n} benchmark(s) breached the x{:.2} tolerance",
+                        cli.bench_tolerance
+                    );
+                    ExitCode::from(2)
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        _ => {}
+    }
     // Keep the journal alive (and fsync'd) for the whole render.
     let _durability_guard = match activate_durability(&cli) {
         Ok(guard) => guard,

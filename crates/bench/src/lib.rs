@@ -14,6 +14,7 @@
 pub mod experiments;
 pub mod figures;
 pub mod scenarios;
+pub mod snapshot;
 pub mod tables;
 
 /// Renders every table and figure in order, as the `--all` flag does.

@@ -1,0 +1,44 @@
+//! Byte-identity of the rendered paper artifacts across worker thread
+//! counts.
+//!
+//! `ucore-project` pins the serialized `FigureData` JSON; this binary
+//! pins the *human-rendered* tables and figures the `repro` CLI ships:
+//! the exact text of Figures 5–10 and Tables 1/5 must not depend on
+//! `UCORE_SWEEP_THREADS`. This is the contract the bench trajectory
+//! relies on — `sweep/parallel` may only be faster than
+//! `sweep/sequential`, never different.
+//!
+//! Lives in its own integration-test binary because it owns the
+//! `UCORE_SWEEP_THREADS` process environment variable for its duration.
+
+use ucore_bench::{figures, tables};
+
+fn render(threads: &str) -> Vec<(&'static str, String)> {
+    std::env::set_var("UCORE_SWEEP_THREADS", threads);
+    let must = |name: &str, r: Result<String, Box<dyn std::error::Error>>| -> String {
+        r.unwrap_or_else(|e| panic!("{name} failed to render: {e}"))
+    };
+    let out = vec![
+        ("table1", must("table1", tables::table1())),
+        ("table5", must("table5", tables::table5())),
+        ("figure5", figures::figure5()),
+        ("figure6", must("figure6", figures::figure6())),
+        ("figure7", must("figure7", figures::figure7())),
+        ("figure8", must("figure8", figures::figure8())),
+        ("figure9", must("figure9", figures::figure9())),
+        ("figure10", must("figure10", figures::figure10())),
+    ];
+    std::env::remove_var("UCORE_SWEEP_THREADS");
+    out
+}
+
+#[test]
+fn rendered_artifacts_are_byte_identical_across_thread_counts() {
+    let reference = render("1");
+    for threads in ["2", "4", "8"] {
+        let rendered = render(threads);
+        for ((name, text), (_, expected)) in rendered.iter().zip(reference.iter()) {
+            assert_eq!(text, expected, "{name} at {threads} threads");
+        }
+    }
+}

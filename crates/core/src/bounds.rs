@@ -48,6 +48,33 @@ impl fmt::Display for Limiter {
     }
 }
 
+/// Why a `(spec, budgets, r)` combination is infeasible, as a plain
+/// enum — the allocation-free companion to the rendered
+/// [`ModelError::Infeasible`] diagnostics, for hot loops like
+/// [`crate::Optimizer`]'s sweep that probe many candidates and discard
+/// most of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Infeasibility {
+    /// `r` is not a positive finite number.
+    InvalidR,
+    /// `r^(α/2) > P`: the sequential core alone exceeds the power budget.
+    SerialPower,
+    /// `perf(r)` generates more traffic than `B` in the serial phase.
+    SerialBandwidth,
+    /// The parallel-phase bounds leave `n_max < r`.
+    NoParallelRoom,
+}
+
+impl Infeasibility {
+    /// True when every *larger* `r` is provably infeasible for the same
+    /// reason: the serial bounds compare `r` against caps
+    /// (`r_max_power`, `r_max_bandwidth`) that do not depend on `r`, so
+    /// once one of them rejects a candidate an increasing sweep can stop.
+    pub fn is_monotone_in_r(&self) -> bool {
+        matches!(self, Infeasibility::SerialPower | Infeasibility::SerialBandwidth)
+    }
+}
+
 /// One of the five constraint rows of Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Constraint {
@@ -95,33 +122,79 @@ impl BoundSet {
     /// parallel-phase bounds leave no usable resources (`n_max < r`).
     pub fn compute(spec: &ChipSpec, budgets: &Budgets, r: f64) -> Result<Self, ModelError> {
         crate::error::ensure_positive("r", r)?;
+        Self::compute_quiet(spec, budgets, r).map_err(|why| {
+            let p = budgets.power();
+            let b = budgets.bandwidth();
+            match why {
+                Infeasibility::InvalidR => ModelError::Infeasible {
+                    reason: format!("r = {r} is not a positive finite number"),
+                },
+                Infeasibility::SerialPower => ModelError::Infeasible {
+                    reason: format!(
+                        "serial power bound violated: r^(alpha/2) = {:.3} > P = {:.3}",
+                        spec.power_law().power_of_area(r),
+                        p
+                    ),
+                },
+                Infeasibility::SerialBandwidth => ModelError::Infeasible {
+                    reason: format!(
+                        "serial bandwidth bound violated: traffic = {:.3} > B = {:.3}",
+                        spec.serial_bandwidth(r),
+                        b
+                    ),
+                },
+                Infeasibility::NoParallelRoom => ModelError::Infeasible {
+                    reason: format!(
+                        "parallel-phase bounds leave n_max = {:.3} below r = {r}",
+                        Self::unchecked(spec, budgets, r).n_max()
+                    ),
+                },
+            }
+        })
+    }
+
+    /// [`Self::compute`] without the rendered diagnostics: infeasibility
+    /// comes back as a plain [`Infeasibility`] enum, so probing an
+    /// infeasible candidate allocates nothing. The feasibility checks and
+    /// their order are identical to [`Self::compute`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Infeasibility`] kind instead of a formatted
+    /// [`ModelError`].
+    pub fn compute_quiet(
+        spec: &ChipSpec,
+        budgets: &Budgets,
+        r: f64,
+    ) -> Result<Self, Infeasibility> {
+        if !(r.is_finite() && r > 0.0) {
+            return Err(Infeasibility::InvalidR);
+        }
+        let bounds = Self::unchecked(spec, budgets, r);
+        if r > bounds.r_max_power + 1e-9 {
+            return Err(Infeasibility::SerialPower);
+        }
+        if r > bounds.r_max_bandwidth + 1e-9 {
+            return Err(Infeasibility::SerialBandwidth);
+        }
+        if bounds.n_max() < r - 1e-9 {
+            return Err(Infeasibility::NoParallelRoom);
+        }
+        Ok(bounds)
+    }
+
+    /// Evaluates every Table 1 bound expression without feasibility
+    /// checks. All the expressions are well-defined for any positive `r`.
+    fn unchecked(spec: &ChipSpec, budgets: &Budgets, r: f64) -> Self {
         let law = spec.law();
         let power_law = spec.power_law();
         let p = budgets.power();
         let b = budgets.bandwidth();
 
-        // Serial-phase feasibility: the sequential core alone must fit.
+        // Serial-phase caps: the sequential core alone must fit.
         let r_max_power = power_law.max_area_for_power(p);
         // Serial bandwidth: perf(r)^e <= B  =>  perf(r) <= B^(1/e).
         let r_max_bandwidth = law.area_for_perf(spec.max_perf_for_bandwidth(b));
-        if r > r_max_power + 1e-9 {
-            return Err(ModelError::Infeasible {
-                reason: format!(
-                    "serial power bound violated: r^(alpha/2) = {:.3} > P = {:.3}",
-                    power_law.power_of_area(r),
-                    p
-                ),
-            });
-        }
-        if r > r_max_bandwidth + 1e-9 {
-            return Err(ModelError::Infeasible {
-                reason: format!(
-                    "serial bandwidth bound violated: traffic = {:.3} > B = {:.3}",
-                    spec.serial_bandwidth(r),
-                    b
-                ),
-            });
-        }
 
         let seq_power = power_law.power_of_perf(law.perf(r));
         let seq_perf = law.perf(r);
@@ -147,23 +220,14 @@ impl BoundSet {
             ChipKind::Heterogeneous(u) => perf_cap / u.mu() + r,
         };
 
-        let bounds = BoundSet {
+        BoundSet {
             n_area: budgets.area(),
             n_power,
             n_bandwidth,
             r_max_power,
             r_max_bandwidth,
             r,
-        };
-        if bounds.n_max() < r - 1e-9 {
-            return Err(ModelError::Infeasible {
-                reason: format!(
-                    "parallel-phase bounds leave n_max = {:.3} below r = {r}",
-                    bounds.n_max()
-                ),
-            });
         }
-        Ok(bounds)
     }
 
     /// The area bound on `n` (`= A`).
@@ -362,6 +426,53 @@ mod tests {
         assert_eq!(bs.bound(Constraint::SerialPower), bs.r_max_power());
         assert_eq!(bs.bound(Constraint::ParallelBandwidth), bs.n_bandwidth());
         assert_eq!(bs.bound(Constraint::SerialBandwidth), bs.r_max_bandwidth());
+    }
+
+    #[test]
+    fn quiet_variant_agrees_with_compute() {
+        let specs = [
+            ChipSpec::symmetric(),
+            ChipSpec::asymmetric(),
+            ChipSpec::asymmetric_offload(),
+            ChipSpec::dynamic(),
+            ChipSpec::heterogeneous(UCore::new(5.0, 0.5).unwrap()),
+        ];
+        for spec in &specs {
+            for b in [budgets(100.0, 10.0, 20.0), budgets(5.0, 0.9, 1.5)] {
+                for r in [0.5, 1.0, 4.0, 16.0, 64.0] {
+                    let loud = BoundSet::compute(spec, &b, r);
+                    let quiet = BoundSet::compute_quiet(spec, &b, r);
+                    match (loud, quiet) {
+                        (Ok(l), Ok(q)) => assert_eq!(l, q, "{} r={r}", spec.kind()),
+                        (Err(_), Err(_)) => {}
+                        (l, q) => panic!("disagree for {} r={r}: {l:?} vs {q:?}", spec.kind()),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quiet_serial_violations_are_monotone() {
+        let spec = ChipSpec::symmetric();
+        let why = BoundSet::compute_quiet(&spec, &budgets(100.0, 10.0, 100.0), 16.0)
+            .unwrap_err();
+        assert_eq!(why, Infeasibility::SerialPower);
+        assert!(why.is_monotone_in_r());
+        let why = BoundSet::compute_quiet(&spec, &budgets(100.0, 100.0, 3.0), 16.0)
+            .unwrap_err();
+        assert_eq!(why, Infeasibility::SerialBandwidth);
+        assert!(why.is_monotone_in_r());
+        // Area below r: serial caps pass but the chip cannot even hold
+        // the sequential core plus usable parallel resources.
+        let why = BoundSet::compute_quiet(&spec, &budgets(2.0, 100.0, 100.0), 4.0)
+            .unwrap_err();
+        assert_eq!(why, Infeasibility::NoParallelRoom);
+        assert!(!why.is_monotone_in_r());
+        assert_eq!(
+            BoundSet::compute_quiet(&spec, &budgets(1.0, 1.0, 1.0), f64::NAN),
+            Err(Infeasibility::InvalidR)
+        );
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub mod speedup;
 pub mod ucore;
 pub mod units;
 
-pub use bounds::{BoundSet, Constraint, Limiter};
+pub use bounds::{BoundSet, Constraint, Infeasibility, Limiter};
 pub use budget::Budgets;
 pub use cache::{CacheStats, EvalCache, EvalKey, F64Key};
 pub use chip::{ChipSpec, DesignPoint, Evaluation};

@@ -9,6 +9,30 @@
 //! BCE is always optimal for the speedup objective) and evaluates the
 //! design; infeasible `r` values (serial bounds violated, or no room left
 //! for parallel resources) are skipped.
+//!
+//! ## Search strategy
+//!
+//! [`Optimizer::optimize`] is the tuned search. It differs from the
+//! verbatim scan kept in [`Optimizer::optimize_exhaustive`] in four ways,
+//! each of which provably — or, for (4), testably — preserves the result:
+//!
+//! 1. candidates come from a lazy iterator and infeasible probes use
+//!    [`BoundSet::compute_quiet`], so the sweep allocates nothing;
+//! 2. a serial-bound violation stops the sweep: the serial caps do not
+//!    depend on `r`, so every larger candidate is infeasible too
+//!    ([`crate::Infeasibility::is_monotone_in_r`]);
+//! 3. for the speedup objective the energy breakdown is computed once for
+//!    the winner instead of per candidate (selection depends only on
+//!    speedup, and first-wins strict-`>` argmax over a superset with the
+//!    same score order picks the same element);
+//! 4. for the speedup objective the scan exploits the model's observed
+//!    unimodality of speedup in `r` and stops after [`DESCENT_RUN`]
+//!    consecutive strictly-descending feasible candidates — but only
+//!    while the precondition holds: any infeasibility hole between
+//!    feasible candidates or any rise-after-descent wiggle permanently
+//!    disables early exit for that sweep, degrading it to the exhaustive
+//!    scan. `tests/optimize_equiv.rs` proptests exact-bits agreement
+//!    with [`Optimizer::optimize_exhaustive`] and pins the fallback.
 
 use crate::bounds::BoundSet;
 use crate::budget::Budgets;
@@ -118,17 +142,33 @@ impl Optimizer {
 
     /// The candidate `r` values of this sweep.
     pub fn candidates(&self) -> Vec<f64> {
-        let mut out = Vec::new();
+        self.candidate_values().collect()
+    }
+
+    /// The candidate `r` values as a lazy iterator — the allocation-free
+    /// form [`Self::optimize`] sweeps. Produces exactly the values (and
+    /// accumulated-rounding bit patterns) of [`Self::candidates`].
+    pub fn candidate_values(&self) -> impl Iterator<Item = f64> {
         let mut r = self.r_min;
-        while r <= self.r_max + 1e-9 {
-            out.push(r.min(self.r_max));
-            r += self.r_step;
-        }
-        out
+        let r_max = self.r_max;
+        let r_step = self.r_step;
+        std::iter::from_fn(move || {
+            if r <= r_max + 1e-9 {
+                let out = r.min(r_max);
+                r += r_step;
+                Some(out)
+            } else {
+                None
+            }
+        })
     }
 
     /// Finds the best design for `spec` under `budgets` at parallel
     /// fraction `f`.
+    ///
+    /// This is the tuned search (see the module docs for the four
+    /// strategies); [`Self::optimize_exhaustive`] is the verbatim
+    /// reference scan it must agree with bit for bit.
     ///
     /// # Errors
     ///
@@ -136,6 +176,123 @@ impl Optimizer {
     /// feasible design (for instance when the serial power bound rejects
     /// even `r = r_min`).
     pub fn optimize(
+        &self,
+        spec: &ChipSpec,
+        budgets: &Budgets,
+        f: ParallelFraction,
+    ) -> Result<OptimalDesign, ModelError> {
+        match self.objective {
+            Objective::MaxSpeedup => self.optimize_speedup(spec, budgets, f),
+            Objective::MinEnergy | Objective::MinEnergyDelay => {
+                self.optimize_energy_objectives(spec, budgets, f)
+            }
+        }
+    }
+
+    /// The speedup-objective fast path: allocation-free sweep, pruned
+    /// enumeration with exhaustive fallback, and a single deferred energy
+    /// breakdown for the winner.
+    fn optimize_speedup(
+        &self,
+        spec: &ChipSpec,
+        budgets: &Budgets,
+        f: ParallelFraction,
+    ) -> Result<OptimalDesign, ModelError> {
+        let mut scan = PrunedScan::new(true);
+        let mut best: Option<Evaluation> = None;
+        for r in self.candidate_values() {
+            let evaluation = match evaluate_candidate(spec, budgets, f, r, &mut scan) {
+                Ok(Some(evaluation)) => evaluation,
+                Ok(None) => continue,
+                Err(StopSweep) => break,
+            };
+            let better = match &best {
+                None => true,
+                Some(b) => evaluation.speedup > b.speedup,
+            };
+            let stop = scan.observe(evaluation.speedup.get());
+            if better {
+                best = Some(evaluation);
+            }
+            if stop {
+                break;
+            }
+        }
+        let Some(evaluation) = best else {
+            return Err(self.infeasible(spec, budgets, f));
+        };
+        // Selection depended only on speedup; the energy number is
+        // attached once, for the winner. Should the breakdown fail for
+        // the winner alone (the exhaustive scan would then have skipped
+        // it and picked another candidate), degrade to the reference
+        // scan rather than reimplement its retry order here.
+        let energy_model = EnergyModel::at_reference_node();
+        match energy_model.breakdown(spec, f, evaluation.n, evaluation.r) {
+            Ok(breakdown) => Ok(OptimalDesign { evaluation, energy: breakdown.total() }),
+            Err(_) => self.optimize_exhaustive(spec, budgets, f),
+        }
+    }
+
+    /// The energy-scored objectives need the breakdown per candidate, so
+    /// they keep the per-candidate loop — allocation-free, with the
+    /// provable serial-bound tail cut, but no descent pruning (energy is
+    /// not unimodal in `r` in general).
+    fn optimize_energy_objectives(
+        &self,
+        spec: &ChipSpec,
+        budgets: &Budgets,
+        f: ParallelFraction,
+    ) -> Result<OptimalDesign, ModelError> {
+        let energy_model = EnergyModel::at_reference_node();
+        let mut scan = PrunedScan::new(false);
+        let mut best: Option<OptimalDesign> = None;
+        for r in self.candidate_values() {
+            let evaluation = match evaluate_candidate(spec, budgets, f, r, &mut scan) {
+                Ok(Some(evaluation)) => evaluation,
+                Ok(None) => continue,
+                Err(StopSweep) => break,
+            };
+            let Ok(breakdown) = energy_model.breakdown(spec, f, evaluation.n, evaluation.r)
+            else {
+                continue;
+            };
+            let candidate = OptimalDesign {
+                evaluation,
+                energy: breakdown.total(),
+            };
+            let better = match &best {
+                None => true,
+                Some(b) => match self.objective {
+                    Objective::MaxSpeedup => {
+                        candidate.evaluation.speedup > b.evaluation.speedup
+                    }
+                    Objective::MinEnergy => candidate.energy < b.energy,
+                    Objective::MinEnergyDelay => {
+                        candidate.energy * candidate.evaluation.speedup.time()
+                            < b.energy * b.evaluation.speedup.time()
+                    }
+                },
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+        best.ok_or_else(|| self.infeasible(spec, budgets, f))
+    }
+
+    /// The pre-optimization sweep, verbatim: allocating candidate list,
+    /// diagnostic-rendering bounds, energy breakdown for every feasible
+    /// candidate, no early exit. Kept in-tree as the reference the tuned
+    /// [`Self::optimize`] is differentially tested against
+    /// (`tests/optimize_equiv.rs`), and as the fallback when the
+    /// unimodality precondition fails in a way the pruned scan cannot
+    /// repair locally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Infeasible`] if no swept `r` yields a
+    /// feasible design.
+    pub fn optimize_exhaustive(
         &self,
         spec: &ChipSpec,
         budgets: &Budgets,
@@ -181,13 +338,170 @@ impl Optimizer {
                 best = Some(candidate);
             }
         }
-        best.ok_or_else(|| ModelError::Infeasible {
+        best.ok_or_else(|| self.infeasible(spec, budgets, f))
+    }
+
+    fn infeasible(&self, spec: &ChipSpec, budgets: &Budgets, f: ParallelFraction) -> ModelError {
+        ModelError::Infeasible {
             reason: format!(
                 "no feasible design for {} under {budgets} at {f}",
                 spec.kind()
             ),
-        })
+        }
     }
+}
+
+/// Probes one candidate `r`: bounds, `n` resolution, evaluation. Returns
+/// `Ok(None)` for a skipped (infeasible) candidate after informing the
+/// scan state, and `Err` only for the provably-monotone serial-bound
+/// violation, which the callers translate into "stop sweeping" — the
+/// error value itself is never surfaced.
+#[inline]
+fn evaluate_candidate(
+    spec: &ChipSpec,
+    budgets: &Budgets,
+    f: ParallelFraction,
+    r: f64,
+    scan: &mut PrunedScan,
+) -> Result<Option<Evaluation>, StopSweep> {
+    let bounds = match BoundSet::compute_quiet(spec, budgets, r) {
+        Ok(bounds) => bounds,
+        Err(why) if why.is_monotone_in_r() => return Err(StopSweep),
+        Err(_) => {
+            scan.hole();
+            return Ok(None);
+        }
+    };
+    // Use every BCE the tightest bound permits, but never fewer than the
+    // sequential core itself occupies.
+    let n = bounds.n_max().max(r);
+    // Designs with no parallel resources cannot run parallel work.
+    if f.get() > 0.0 && spec.parallel_perf(n, r) <= 0.0 {
+        scan.hole();
+        return Ok(None);
+    }
+    let Ok(evaluation) = spec.evaluate(f, n, r, budgets) else {
+        scan.hole();
+        return Ok(None);
+    };
+    Ok(Some(evaluation))
+}
+
+/// Sentinel returned by [`evaluate_candidate`] when the remaining tail
+/// of an increasing `r` sweep is provably infeasible.
+struct StopSweep;
+
+/// How many consecutive strictly-descending feasible candidates the
+/// pruned scan requires before declaring the speedup peak passed.
+pub const DESCENT_RUN: u32 = 3;
+
+/// State machine of the pruned argmax scan over an increasing `r` sweep.
+///
+/// The precondition it polices is unimodality of the score sequence:
+/// scores rise (or plateau), peak once, then descend. While the
+/// precondition holds, observing [`DESCENT_RUN`] consecutive strict
+/// descents proves (under the precondition) that the peak is behind, and
+/// the sweep may stop. Two kinds of evidence *permanently* disable early
+/// exit for the sweep, degrading it to exhaustive:
+///
+/// * a **hole** — an infeasible candidate after at least one feasible
+///   one (the feasible set is not an interval, so the shape assumption
+///   is void);
+/// * a **wiggle** — a strict rise after at least one strict descent
+///   (directly non-unimodal).
+#[derive(Debug, Clone, Copy)]
+pub struct PrunedScan {
+    enabled: bool,
+    violated: bool,
+    descents: u32,
+    prev: Option<f64>,
+    seen_feasible: bool,
+}
+
+impl PrunedScan {
+    /// A fresh scan; `enabled = false` records the same evidence but
+    /// never requests an early exit (used by objectives that must stay
+    /// exhaustive).
+    pub fn new(enabled: bool) -> Self {
+        PrunedScan {
+            enabled,
+            violated: false,
+            descents: 0,
+            prev: None,
+            seen_feasible: false,
+        }
+    }
+
+    /// Records an infeasible candidate.
+    pub fn hole(&mut self) {
+        if self.seen_feasible {
+            self.violated = true;
+        }
+    }
+
+    /// Records a feasible candidate's score; returns `true` when the
+    /// sweep may stop early.
+    pub fn observe(&mut self, score: f64) -> bool {
+        if let Some(prev) = self.prev {
+            if score < prev {
+                self.descents += 1;
+            } else if score > prev {
+                if self.descents > 0 {
+                    self.violated = true;
+                }
+                self.descents = 0;
+            } else {
+                // Plateau (or NaN): consistent with unimodality, but it
+                // breaks the current descent run.
+                self.descents = 0;
+            }
+        }
+        self.seen_feasible = true;
+        self.prev = Some(score);
+        self.enabled && !self.violated && self.descents >= DESCENT_RUN
+    }
+
+    /// Whether the unimodality precondition has been violated (the scan
+    /// has degraded to exhaustive).
+    pub fn is_violated(&self) -> bool {
+        self.violated
+    }
+}
+
+/// A pruned first-wins strict-`>` argmax over `candidates`, driven by
+/// the same [`PrunedScan`] state machine [`Optimizer::optimize`] uses.
+///
+/// `eval` returns `None` for an infeasible candidate, or the payload and
+/// its score. The result is identical to an exhaustive first-wins argmax
+/// whenever the score sequence satisfies the unimodality precondition;
+/// when the precondition is violated before an early exit could trigger,
+/// the scan self-disables and *is* the exhaustive argmax. This free
+/// function exists so the equivalence tests can drive the exact
+/// production state machine with crafted score sequences.
+pub fn pruned_max_scan<T>(
+    candidates: impl IntoIterator<Item = f64>,
+    mut eval: impl FnMut(f64) -> Option<(T, f64)>,
+) -> Option<T> {
+    let mut scan = PrunedScan::new(true);
+    let mut best: Option<(T, f64)> = None;
+    for r in candidates {
+        let Some((value, score)) = eval(r) else {
+            scan.hole();
+            continue;
+        };
+        let better = match &best {
+            None => true,
+            Some((_, b)) => score > *b,
+        };
+        let stop = scan.observe(score);
+        if better {
+            best = Some((value, score));
+        }
+        if stop {
+            break;
+        }
+    }
+    best.map(|(value, _)| value)
 }
 
 #[cfg(test)]

@@ -19,6 +19,9 @@ fn render(threads: &str) -> Vec<(&'static str, String)> {
     let json = |fig: FigureData| serde_json::to_string(&fig).expect("figure serializes");
     let out = vec![
         ("figure6", json(figures::figure6().expect("figure 6 projects"))),
+        ("figure7", json(figures::figure7().expect("figure 7 projects"))),
+        ("figure8", json(figures::figure8().expect("figure 8 projects"))),
+        ("figure9", json(figures::figure9().expect("figure 9 projects"))),
         ("figure10", json(figures::figure10().expect("figure 10 projects"))),
     ];
     std::env::remove_var("UCORE_SWEEP_THREADS");

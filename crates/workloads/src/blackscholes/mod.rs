@@ -8,6 +8,7 @@
 
 pub mod batch;
 pub mod math;
+pub mod reference;
 
 use crate::kernel::WorkloadError;
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,41 @@
+//! The reference scalar pricing pipeline, kept as a differential oracle.
+//!
+//! [`price`] is the Black-Scholes pipeline written out step by step in
+//! the exact order [`super::OptionParams::price`] is required to follow.
+//! The tolerance policy for this kernel is **bit-for-bit**: any future
+//! vectorization or refactoring of the production pricer must keep every
+//! intermediate f64 operation in this order, and `tests/differential.rs`
+//! enforces it on random portfolios.
+
+use super::{math, OptionParams, OptionPrice};
+
+/// Prices both legs with the canonical operation order.
+pub fn price(params: &OptionParams) -> OptionPrice {
+    let s = f64::from(params.spot);
+    let k = f64::from(params.strike);
+    let r = f64::from(params.rate);
+    let v = f64::from(params.volatility);
+    let t = f64::from(params.time);
+
+    let sqrt_t = t.sqrt();
+    let d1 = ((s / k).ln() + (r + 0.5 * v * v) * t) / (v * sqrt_t);
+    let d2 = d1 - v * sqrt_t;
+    let discount = (-r * t).exp();
+
+    let call = s * math::cnd(d1) - k * discount * math::cnd(d2);
+    let put = k * discount * math::cnd(-d2) - s * math::cnd(-d1);
+    OptionPrice { call: call as f32, put: put as f32 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_portfolio;
+
+    #[test]
+    fn reference_matches_production_pricer_bit_for_bit() {
+        for params in random_portfolio(512, 41) {
+            assert_eq!(price(&params), params.price());
+        }
+    }
+}

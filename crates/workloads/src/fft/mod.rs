@@ -15,7 +15,9 @@
 //! * [`bluestein::BluesteinFft`] — arbitrary-length transforms via the
 //!   chirp-z reformulation;
 //! * [`Fft`] — a small planner that picks radix-4 when the size allows
-//!   and radix-2 otherwise, with forward and inverse directions.
+//!   and radix-2 otherwise, with forward and inverse directions;
+//! * [`reference`] — the pre-optimization butterfly loops, kept as
+//!   bit-for-bit differential oracles for the tuned transforms.
 
 pub mod batch;
 pub mod bluestein;
@@ -23,6 +25,7 @@ pub mod dft;
 pub mod plan;
 pub mod radix2;
 pub mod radix4;
+pub mod reference;
 pub mod splitradix;
 
 use crate::kernel::WorkloadError;

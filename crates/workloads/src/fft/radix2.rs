@@ -7,10 +7,20 @@ use crate::kernel::WorkloadError;
 /// A planned radix-2 FFT: twiddles and the bit-reversal permutation are
 /// computed once and reused across transforms, as a throughput-driven
 /// kernel would.
+///
+/// The plan stores the twiddles *stage-contiguously*: for every stage the
+/// `half` factors the butterflies consume are laid out in one run, so the
+/// inner loop walks three slices (low half, high half, twiddles) in
+/// lockstep instead of computing strided indices. The factor values are
+/// copied bit-for-bit from the classic `W_N^k` table, and the butterfly
+/// arithmetic is unchanged, so the output is bit-identical to the
+/// original strided loop kept in [`super::reference::radix2_forward`].
 #[derive(Debug, Clone)]
 pub struct Radix2Fft {
     size: usize,
-    twiddles: Vec<Complex>,
+    /// Per-stage twiddle runs, concatenated: `1 + 2 + … + n/2 = n − 1`
+    /// factors for stages `len = 2, 4, …, n`.
+    stage_twiddles: Vec<Complex>,
     reversal: Vec<usize>,
 }
 
@@ -25,9 +35,20 @@ impl Radix2Fft {
         if size < 2 || !size.is_power_of_two() {
             return Err(WorkloadError::NotPowerOfTwo { size });
         }
+        let twiddles = forward_twiddles(size);
+        let mut stage_twiddles = Vec::with_capacity(size - 1);
+        let mut len = 2;
+        while len <= size {
+            let half = len / 2;
+            let stride = size / len;
+            for k in 0..half {
+                stage_twiddles.push(twiddles[k * stride]);
+            }
+            len *= 2;
+        }
         Ok(Radix2Fft {
             size,
-            twiddles: forward_twiddles(size),
+            stage_twiddles,
             reversal: bit_reversal(size),
         })
     }
@@ -48,18 +69,20 @@ impl Radix2Fft {
         permute_in_place(data, &self.reversal);
         let n = self.size;
         let mut len = 2;
+        let mut offset = 0;
         while len <= n {
             let half = len / 2;
-            let stride = n / len;
-            for start in (0..n).step_by(len) {
-                for k in 0..half {
-                    let w = self.twiddles[k * stride];
-                    let a = data[start + k];
-                    let b = data[start + k + half] * w;
-                    data[start + k] = a + b;
-                    data[start + k + half] = a - b;
+            let tw = &self.stage_twiddles[offset..offset + half];
+            for block in data.chunks_exact_mut(len) {
+                let (lo, hi) = block.split_at_mut(half);
+                for ((x, y), w) in lo.iter_mut().zip(hi.iter_mut()).zip(tw) {
+                    let a = *x;
+                    let b = *y * *w;
+                    *x = a + b;
+                    *y = a - b;
                 }
             }
+            offset += half;
             len *= 2;
         }
     }
@@ -113,5 +136,17 @@ mod tests {
         assert!(Radix2Fft::new(0).is_err());
         assert!(Radix2Fft::new(1).is_err());
         assert!(Radix2Fft::new(6).is_err());
+    }
+
+    #[test]
+    fn bit_identical_to_reference_loop() {
+        for &n in &[2usize, 8, 64, 2048] {
+            let signal = random_signal(n, 77);
+            let mut fast = signal.clone();
+            Radix2Fft::new(n).unwrap().forward(&mut fast);
+            let mut slow = signal;
+            crate::fft::reference::radix2_forward(&mut slow);
+            assert_eq!(fast, slow, "n = {n}");
+        }
     }
 }

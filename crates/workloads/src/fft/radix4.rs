@@ -12,11 +12,20 @@ use crate::kernel::WorkloadError;
 use std::f64::consts::TAU;
 
 /// A planned radix-4 FFT.
+///
+/// Like [`super::radix2::Radix2Fft`], the plan stores the twiddles
+/// stage-contiguously — one `(w¹, w², w³)` triple per butterfly, in
+/// butterfly order — so the transform walks four quarter slices and the
+/// twiddle run in lockstep with no strided index arithmetic. The triple
+/// values are copied bit-for-bit from the full `W_n^k` table and the
+/// butterfly arithmetic is unchanged, so the output is bit-identical to
+/// the original loop kept in [`super::reference::radix4_forward`].
 #[derive(Debug, Clone)]
 pub struct Radix4Fft {
     size: usize,
-    // Full table W_n^k for k in 0..n: radix-4 needs powers up to 3n/4.
-    twiddles: Vec<Complex>,
+    /// Per-stage `(w¹, w², w³)` butterfly triples, concatenated in stage
+    /// then butterfly order.
+    stage_twiddles: Vec<Complex>,
     reversal: Vec<usize>,
 }
 
@@ -33,12 +42,25 @@ impl Radix4Fft {
         if !is_power_of_four {
             return Err(WorkloadError::NotPowerOfTwo { size });
         }
-        let twiddles = (0..size)
+        // Full table W_n^k for k in 0..n: radix-4 needs powers up to 3n/4.
+        let full: Vec<Complex> = (0..size)
             .map(|k| Complex::from_angle(-TAU * k as f64 / size as f64))
             .collect();
+        let mut stage_twiddles = Vec::new();
+        let mut len = 4;
+        while len <= size {
+            let quarter = len / 4;
+            let stride = size / len;
+            for k in 0..quarter {
+                stage_twiddles.push(full[k * stride]);
+                stage_twiddles.push(full[2 * k * stride]);
+                stage_twiddles.push(full[3 * k * stride]);
+            }
+            len *= 4;
+        }
         Ok(Radix4Fft {
             size,
-            twiddles,
+            stage_twiddles,
             reversal: digit4_reversal(size),
         })
     }
@@ -54,30 +76,38 @@ impl Radix4Fft {
         permute_in_place(data, &self.reversal);
         let n = self.size;
         let mut len = 4;
+        let mut offset = 0;
         while len <= n {
             let quarter = len / 4;
-            let stride = n / len;
-            for start in (0..n).step_by(len) {
-                for k in 0..quarter {
-                    let w1 = self.twiddles[k * stride];
-                    let w2 = self.twiddles[2 * k * stride];
-                    let w3 = self.twiddles[3 * k * stride];
-                    let a = data[start + k];
-                    let b = data[start + k + quarter] * w1;
-                    let c = data[start + k + 2 * quarter] * w2;
-                    let d = data[start + k + 3 * quarter] * w3;
+            let tw = &self.stage_twiddles[offset..offset + 3 * quarter];
+            for block in data.chunks_exact_mut(len) {
+                let (half01, half23) = block.split_at_mut(2 * quarter);
+                let (q0, q1) = half01.split_at_mut(quarter);
+                let (q2, q3) = half23.split_at_mut(quarter);
+                for ((((p0, p1), p2), p3), w) in q0
+                    .iter_mut()
+                    .zip(q1.iter_mut())
+                    .zip(q2.iter_mut())
+                    .zip(q3.iter_mut())
+                    .zip(tw.chunks_exact(3))
+                {
+                    let a = *p0;
+                    let b = *p1 * w[0];
+                    let c = *p2 * w[1];
+                    let d = *p3 * w[2];
                     let t0 = a + c;
                     let t1 = a - c;
                     let t2 = b + d;
                     // -i * (b - d): the free quarter-turn.
                     let bd = b - d;
                     let t3 = Complex::new(bd.im, -bd.re);
-                    data[start + k] = t0 + t2;
-                    data[start + k + quarter] = t1 + t3;
-                    data[start + k + 2 * quarter] = t0 - t2;
-                    data[start + k + 3 * quarter] = t1 - t3;
+                    *p0 = t0 + t2;
+                    *p1 = t1 + t3;
+                    *p2 = t0 - t2;
+                    *p3 = t1 - t3;
                 }
             }
+            offset += 3 * quarter;
             len *= 4;
         }
     }
@@ -141,6 +171,18 @@ mod tests {
                     "n = {n}, bin {i}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn bit_identical_to_reference_loop() {
+        for &n in &[4usize, 16, 256, 4096] {
+            let signal = random_signal(n, 91);
+            let mut fast = signal.clone();
+            Radix4Fft::new(n).unwrap().forward(&mut fast);
+            let mut slow = signal;
+            crate::fft::reference::radix4_forward(&mut slow);
+            assert_eq!(fast, slow, "n = {n}");
         }
     }
 }

@@ -1,0 +1,127 @@
+//! Pre-optimization FFT butterfly loops, kept as differential oracles.
+//!
+//! The tuned [`super::radix2`] / [`super::radix4`] transforms reorganize
+//! memory access (stage-contiguous twiddle tables, slice-zipped
+//! butterflies) but perform exactly the same arithmetic in the same
+//! order. These functions are the original strided-index loops, kept
+//! verbatim so `tests/differential.rs` can prove the transforms are
+//! **bit-identical** — not merely close — on every input.
+//!
+//! They plan per call (twiddle table + permutation), so they are
+//! intentionally slow; nothing on a hot path uses them.
+
+use super::plan::{bit_reversal, digit4_reversal, forward_twiddles, permute_in_place};
+use super::Complex;
+use std::f64::consts::TAU;
+
+/// The original radix-2 forward transform, in place.
+///
+/// # Panics
+///
+/// Panics unless `data.len()` is a power of two and at least 2.
+pub fn radix2_forward(data: &mut [Complex]) {
+    let n = data.len();
+    assert!(n >= 2 && n.is_power_of_two(), "size must be a power of two");
+    let twiddles = forward_twiddles(n);
+    let reversal = bit_reversal(n);
+    permute_in_place(data, &reversal);
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        let stride = n / len;
+        for start in (0..n).step_by(len) {
+            for k in 0..half {
+                let w = twiddles[k * stride];
+                let a = data[start + k];
+                let b = data[start + k + half] * w;
+                data[start + k] = a + b;
+                data[start + k + half] = a - b;
+            }
+        }
+        len *= 2;
+    }
+}
+
+/// The original radix-4 forward transform, in place.
+///
+/// # Panics
+///
+/// Panics unless `data.len()` is a power of four and at least 4.
+pub fn radix4_forward(data: &mut [Complex]) {
+    let n = data.len();
+    assert!(
+        n >= 4 && n.is_power_of_two() && n.trailing_zeros().is_multiple_of(2),
+        "size must be a power of four"
+    );
+    let twiddles: Vec<Complex> = (0..n)
+        .map(|k| Complex::from_angle(-TAU * k as f64 / n as f64))
+        .collect();
+    let reversal = digit4_reversal(n);
+    permute_in_place(data, &reversal);
+    let mut len = 4;
+    while len <= n {
+        let quarter = len / 4;
+        let stride = n / len;
+        for start in (0..n).step_by(len) {
+            for k in 0..quarter {
+                let w1 = twiddles[k * stride];
+                let w2 = twiddles[2 * k * stride];
+                let w3 = twiddles[3 * k * stride];
+                let a = data[start + k];
+                let b = data[start + k + quarter] * w1;
+                let c = data[start + k + 2 * quarter] * w2;
+                let d = data[start + k + 3 * quarter] * w3;
+                let t0 = a + c;
+                let t1 = a - c;
+                let t2 = b + d;
+                // -i * (b - d): the free quarter-turn.
+                let bd = b - d;
+                let t3 = Complex::new(bd.im, -bd.re);
+                data[start + k] = t0 + t2;
+                data[start + k + quarter] = t1 + t3;
+                data[start + k + 2 * quarter] = t0 - t2;
+                data[start + k + 3 * quarter] = t1 - t3;
+            }
+        }
+        len *= 4;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::{dft, Direction};
+    use crate::gen::random_signal;
+
+    #[test]
+    fn reference_loops_match_the_dft_oracle() {
+        for &n in &[8usize, 16] {
+            let signal = random_signal(n, 3);
+            let slow = dft::reference(&signal, Direction::Forward);
+            let mut r2 = signal.clone();
+            radix2_forward(&mut r2);
+            for (a, b) in r2.iter().zip(&slow) {
+                assert!((*a - *b).abs() < 1e-3);
+            }
+            if n.trailing_zeros().is_multiple_of(2) {
+                let mut r4 = signal;
+                radix4_forward(&mut r4);
+                for (a, b) in r4.iter().zip(&slow) {
+                    assert!((*a - *b).abs() < 1e-3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn radix2_rejects_bad_sizes() {
+        radix2_forward(&mut [Complex::ZERO; 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of four")]
+    fn radix4_rejects_bad_sizes() {
+        radix4_forward(&mut [Complex::ZERO; 8]);
+    }
+}

@@ -1,4 +1,12 @@
 //! Cache-blocked matrix multiplication — the tuned single-threaded kernel.
+//!
+//! The hot loops are written against pre-sliced tile rows with a 4-wide
+//! unrolled `c[j] += a_ik * b[j]` update, so the compiler can keep the
+//! accumulators in registers and hoist every bounds check out of the
+//! innermost loop. The pre-optimization indexed loops are kept verbatim
+//! in [`reference`]; because both versions perform exactly one fused
+//! update per output element in the same `(ii, kk, jj, i, k)` order, the
+//! results are bit-identical (see `tests/differential.rs`).
 
 use super::{check_shapes, Matrix};
 use crate::kernel::WorkloadError;
@@ -35,6 +43,27 @@ pub fn multiply(a: &Matrix, b: &Matrix, block: usize) -> Result<Matrix, Workload
     Ok(c)
 }
 
+/// One tile-row update `c[j] += aik * b[j]`, unrolled 4-wide.
+///
+/// Each output element receives exactly one fused multiply-add per call,
+/// so the result is bit-identical to the scalar loop regardless of how
+/// the `j` range is chunked.
+#[inline]
+fn saxpy_row(c: &mut [f32], b: &[f32], aik: f32) {
+    debug_assert_eq!(c.len(), b.len());
+    let mut c_quads = c.chunks_exact_mut(4);
+    let mut b_quads = b.chunks_exact(4);
+    for (cq, bq) in (&mut c_quads).zip(&mut b_quads) {
+        cq[0] += aik * bq[0];
+        cq[1] += aik * bq[1];
+        cq[2] += aik * bq[2];
+        cq[3] += aik * bq[3];
+    }
+    for (cv, bv) in c_quads.into_remainder().iter_mut().zip(b_quads.remainder()) {
+        *cv += aik * *bv;
+    }
+}
+
 /// Multiplies the row range `[row_start, row_end)` of `A` into the same
 /// rows of `C`. Shared by the blocked and the parallel kernels.
 pub(crate) fn multiply_into(
@@ -47,6 +76,8 @@ pub(crate) fn multiply_into(
 ) {
     let n = b.cols();
     let k_dim = a.cols();
+    let b_data = b.as_slice();
+    let c_data = c.as_mut_slice();
     for ii in (row_start..row_end).step_by(block) {
         let i_hi = (ii + block).min(row_end);
         for kk in (0..k_dim).step_by(block) {
@@ -54,18 +85,16 @@ pub(crate) fn multiply_into(
             for jj in (0..n).step_by(block) {
                 let j_hi = (jj + block).min(n);
                 for i in ii..i_hi {
-                    for k in kk..k_hi {
-                        let aik = a.get(i, k);
+                    let a_tile = &a.row(i)[kk..k_hi];
+                    let c_tile = &mut c_data[i * n + jj..i * n + j_hi];
+                    for (k_off, &aik) in a_tile.iter().enumerate() {
                         // ucore-lint: allow(float-eq): exact-zero sparsity skip; skipping only IEEE ±0.0 terms cannot change the sum
                         if aik == 0.0 {
                             continue;
                         }
-                        let b_row = b.row(k);
-                        let c_base = i * n;
-                        let c_data = c.as_mut_slice();
-                        for j in jj..j_hi {
-                            c_data[c_base + j] += aik * b_row[j];
-                        }
+                        let k = kk + k_off;
+                        let b_tile = &b_data[k * n + jj..k * n + j_hi];
+                        saxpy_row(c_tile, b_tile, aik);
                     }
                 }
             }
@@ -90,15 +119,95 @@ pub(crate) fn multiply_rows_to_slice(
         let k_hi = (kk + block).min(k_dim);
         for i in row_start..row_end {
             let out_base = (i - row_start) * n;
-            for k in kk..k_hi {
-                let aik = a.get(i, k);
+            let out_row = &mut out[out_base..out_base + n];
+            let a_tile = &a.row(i)[kk..k_hi];
+            for (k_off, &aik) in a_tile.iter().enumerate() {
                 // ucore-lint: allow(float-eq): exact-zero sparsity skip; skipping only IEEE ±0.0 terms cannot change the sum
                 if aik == 0.0 {
                     continue;
                 }
-                let b_row = b.row(k);
-                for j in 0..n {
-                    out[out_base + j] += aik * b_row[j];
+                saxpy_row(out_row, b.row(kk + k_off), aik);
+            }
+        }
+    }
+}
+
+/// The pre-optimization blocked loops, kept verbatim as the
+/// differential-test oracle for the tuned kernel above.
+///
+/// Not used on any hot path: the tuned kernel must stay bit-identical to
+/// these loops (same blocking, same iteration order, same exact-zero
+/// skip), and `tests/differential.rs` proves it.
+pub mod reference {
+    use super::{check_shapes, Matrix, WorkloadError};
+
+    /// `C = A·B` with the original per-element indexed tile loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::LengthMismatch`] if the shapes are not
+    /// conformable, or [`WorkloadError::ZeroSize`] for a zero block size.
+    pub fn multiply(a: &Matrix, b: &Matrix, block: usize) -> Result<Matrix, WorkloadError> {
+        if block == 0 {
+            return Err(WorkloadError::ZeroSize { what: "block size" });
+        }
+        let (m, n) = check_shapes(a, b)?;
+        let mut c = Matrix::zeros(m, n);
+        let k_dim = a.cols();
+        for ii in (0..m).step_by(block) {
+            let i_hi = (ii + block).min(m);
+            for kk in (0..k_dim).step_by(block) {
+                let k_hi = (kk + block).min(k_dim);
+                for jj in (0..n).step_by(block) {
+                    let j_hi = (jj + block).min(n);
+                    for i in ii..i_hi {
+                        for k in kk..k_hi {
+                            let aik = a.get(i, k);
+                            // ucore-lint: allow(float-eq): exact-zero sparsity skip; skipping only IEEE ±0.0 terms cannot change the sum
+                            if aik == 0.0 {
+                                continue;
+                            }
+                            let b_row = b.row(k);
+                            let c_base = i * n;
+                            let c_data = c.as_mut_slice();
+                            for j in jj..j_hi {
+                                c_data[c_base + j] += aik * b_row[j];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(c)
+    }
+
+    /// The original row-band driver backing the parallel kernel, for
+    /// differential tests of [`super::multiply_rows_to_slice`].
+    pub fn multiply_rows(
+        a: &Matrix,
+        b: &Matrix,
+        out: &mut [f32],
+        block: usize,
+        row_start: usize,
+        row_end: usize,
+    ) {
+        let n = b.cols();
+        let k_dim = a.cols();
+        debug_assert_eq!(out.len(), (row_end - row_start) * n);
+        for kk in (0..k_dim).step_by(block) {
+            let k_hi = (kk + block).min(k_dim);
+            for i in row_start..row_end {
+                let out_base = (i - row_start) * n;
+                for k in kk..k_hi {
+                    let aik = a.get(i, k);
+                    // ucore-lint: allow(float-eq): exact-zero sparsity skip; skipping only IEEE ±0.0 terms cannot change the sum
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = b.row(k);
+                    for j in 0..n {
+                        out[out_base + j] += aik * b_row[j];
+                    }
                 }
             }
         }
@@ -147,6 +256,7 @@ mod tests {
     fn zero_block_rejected() {
         let a = Matrix::identity(2);
         assert!(multiply(&a, &a, 0).is_err());
+        assert!(reference::multiply(&a, &a, 0).is_err());
     }
 
     #[test]
@@ -166,5 +276,35 @@ mod tests {
             let j = idx % 6;
             assert!((v - full.get(i, j)).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn tuned_is_bit_identical_to_reference() {
+        for &(m, k, n, block) in &[
+            (5usize, 7usize, 3usize, 2usize),
+            (16, 16, 16, 8),
+            (33, 17, 9, 4),
+            (64, 64, 64, 32),
+        ] {
+            let a = random_matrix(m, k, 21);
+            let b = random_matrix(k, n, 22);
+            let tuned = multiply(&a, &b, block).unwrap();
+            let oracle = reference::multiply(&a, &b, block).unwrap();
+            assert_eq!(tuned, oracle, "({m}, {k}, {n}) block {block}");
+        }
+    }
+
+    #[test]
+    fn sparsity_skip_is_preserved() {
+        // A matrix with explicit zeros exercises the `aik == 0.0` skip in
+        // both versions; the results must still be bit-identical.
+        let mut a = random_matrix(9, 9, 31);
+        for i in 0..9 {
+            a.set(i, (i * 3) % 9, 0.0);
+        }
+        let b = random_matrix(9, 9, 32);
+        let tuned = multiply(&a, &b, 4).unwrap();
+        let oracle = reference::multiply(&a, &b, 4).unwrap();
+        assert_eq!(tuned, oracle);
     }
 }
