@@ -40,6 +40,17 @@
 //! per-phase self/total table on stderr. None of the three perturbs
 //! stdout: the rendered figure bytes are identical with and without
 //! them, at any thread count.
+//!
+//! Runs shard across *processes* on request: `--shards N --journal
+//! PATH` spawns N worker copies of `repro` (each running with `--shard
+//! i/N` against its own `PATH.shard<i>` journal), watches their
+//! journal-growth heartbeats, reassigns a crashed or stalled worker's
+//! index-range lease with bounded backoff, merges the shard journals
+//! deterministically into `PATH`, and renders the figure by replaying
+//! the merged journal — byte-identical to a single-process run, even
+//! when workers were killed mid-sweep. SIGINT/SIGTERM fsync the active
+//! journal before exiting (codes 130/143), so an interrupted worker is
+//! always resumable.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -47,10 +58,13 @@ use std::time::{Duration, Instant};
 use ucore_bench::{figures, scenarios, snapshot, tables};
 use ucore_obs::MetricsSnapshot;
 use ucore_project::durability::{self, DurabilityConfig, DurabilityGuard};
+use ucore_project::faultinject::{self, FaultPlan};
+use ucore_project::shard::{self, OrchestratorConfig, ShardSpec};
 
 fn usage() -> &'static str {
     "usage: repro [--stats] [--max-failures N] [--journal PATH] [--resume] \
      [--timeout-ms N] [--retries N] [--out PATH] \
+     [--shards N | --shard I/N] [--shard-stall-ms N] [--shard-retries N] \
      [--metrics PATH] [--trace PATH] [--profile] \
      [--bench-dir DIR] [--bench-against PATH] [--bench-current PATH] [--bench-tolerance X] \
      [--all | --experiments | --table N | --figure N | --scenario N | --json figure-N | --csv figure-N \
@@ -62,6 +76,10 @@ fn usage() -> &'static str {
      --resume: replay the journal first; only missing points are re-evaluated (requires --journal)\n\
      --timeout-ms N: per-point watchdog deadline; stuck points become Failed{timeout}\n\
      --retries N: retry failed points up to N times with deterministic backoff (default 0)\n\
+     --shards N: orchestrate the run across N worker processes sharing --journal (requires --journal)\n\
+     --shard I/N: worker mode — evaluate and journal only shard I's index-range lease (requires --journal)\n\
+     --shard-stall-ms N: kill and reassign a worker whose journal stops growing for N ms (default 30000)\n\
+     --shard-retries N: reassign a failed lease up to N times before abandoning it (default 3)\n\
      --out PATH: write stdout output to PATH via atomic temp+fsync+rename\n\
      --metrics PATH: write a Prometheus-style metrics snapshot to PATH (atomic)\n\
      --trace PATH: record structured spans and write the binary trace to PATH (atomic)\n\
@@ -97,6 +115,10 @@ const KNOWN_FLAGS: &[&str] = &[
     "--resume",
     "--retries",
     "--scenario",
+    "--shard",
+    "--shard-retries",
+    "--shard-stall-ms",
+    "--shards",
     "--stats",
     "--table",
     "--timeout-ms",
@@ -151,6 +173,10 @@ struct Cli {
     resume: bool,
     timeout_ms: Option<u64>,
     retries: u32,
+    shards: Option<usize>,
+    shard: Option<ShardSpec>,
+    shard_stall_ms: u64,
+    shard_retries: u32,
     out: Option<PathBuf>,
     metrics: Option<PathBuf>,
     trace: Option<PathBuf>,
@@ -169,6 +195,10 @@ fn parse(args: Vec<String>) -> Result<Cli, String> {
     let mut resume = false;
     let mut timeout_ms: Option<u64> = None;
     let mut retries: u32 = 0;
+    let mut shards: Option<usize> = None;
+    let mut shard: Option<ShardSpec> = None;
+    let mut shard_stall_ms: u64 = shard::DEFAULT_STALL_TIMEOUT.as_millis() as u64;
+    let mut shard_retries: u32 = shard::DEFAULT_LEASE_RETRIES;
     let mut out: Option<PathBuf> = None;
     let mut metrics: Option<PathBuf> = None;
     let mut trace: Option<PathBuf> = None;
@@ -237,6 +267,37 @@ fn parse(args: Vec<String>) -> Result<Cli, String> {
                     )
                 })?;
             }
+            "--shards" => {
+                let v = value_for("--shards")?;
+                let n: usize = v.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    format!("--shards value {v:?} is not a positive integer\n{}", usage())
+                })?;
+                shards = Some(n);
+            }
+            "--shard" => {
+                let v = value_for("--shard")?;
+                shard = Some(
+                    ShardSpec::parse(&v).map_err(|e| format!("{e}\n{}", usage()))?,
+                );
+            }
+            "--shard-stall-ms" => {
+                let v = value_for("--shard-stall-ms")?;
+                shard_stall_ms = v.parse().ok().filter(|&ms| ms > 0).ok_or_else(|| {
+                    format!(
+                        "--shard-stall-ms value {v:?} is not a positive integer\n{}",
+                        usage()
+                    )
+                })?;
+            }
+            "--shard-retries" => {
+                let v = value_for("--shard-retries")?;
+                shard_retries = v.parse().map_err(|_| {
+                    format!(
+                        "--shard-retries value {v:?} is not a non-negative integer\n{}",
+                        usage()
+                    )
+                })?;
+            }
             "--table" => {
                 let v = value_for("--table")?;
                 set(&mut command, Command::Table(v))?;
@@ -298,6 +359,52 @@ fn parse(args: Vec<String>) -> Result<Cli, String> {
     if resume && journal.is_none() {
         return Err(format!("--resume requires --journal PATH\n{}", usage()));
     }
+    if shards.is_some() && shard.is_some() {
+        return Err(format!(
+            "--shards (orchestrator) and --shard (worker) are mutually exclusive\n{}",
+            usage()
+        ));
+    }
+    if shards.is_some() && journal.is_none() {
+        return Err(format!(
+            "--shards requires --journal PATH (shard journals merge into it)\n{}",
+            usage()
+        ));
+    }
+    if shard.is_some() && journal.is_none() {
+        return Err(format!(
+            "--shard requires --journal PATH (a worker's results live in its journal)\n{}",
+            usage()
+        ));
+    }
+    if shards.is_some() && resume {
+        return Err(format!(
+            "--shards cannot be combined with --resume \
+             (the orchestrator always replays the merged journal)\n{}",
+            usage()
+        ));
+    }
+    if shards.is_some() || shard.is_some() {
+        match &command {
+            None
+            | Some(
+                Command::All
+                | Command::Experiments
+                | Command::Table(_)
+                | Command::Figure(_)
+                | Command::Scenario(_)
+                | Command::Json(_)
+                | Command::Csv(_),
+            ) => {}
+            Some(Command::Help | Command::BenchSnapshot(_) | Command::BenchCheck(_)) => {
+                return Err(format!(
+                    "--shards/--shard need a rendering command \
+                     (a table, figure, scenario, json or csv target)\n{}",
+                    usage()
+                ))
+            }
+        }
+    }
     if bench_against.is_some() || bench_current.is_some() {
         match &command {
             Some(Command::BenchCheck(topic)) if topic != "all" => {}
@@ -317,6 +424,10 @@ fn parse(args: Vec<String>) -> Result<Cli, String> {
         resume,
         timeout_ms,
         retries,
+        shards,
+        shard,
+        shard_stall_ms,
+        shard_retries,
         out,
         metrics,
         trace,
@@ -402,8 +513,11 @@ fn run_bench_check(cli: &Cli, topic: &str) -> Result<usize, String> {
 /// Returns the guard keeping it active (`None` when the run is not
 /// durable), after reporting what a resume replayed.
 fn activate_durability(cli: &Cli) -> Result<Option<DurabilityGuard>, String> {
-    let wanted =
-        cli.journal.is_some() || cli.resume || cli.timeout_ms.is_some() || cli.retries > 0;
+    let wanted = cli.journal.is_some()
+        || cli.resume
+        || cli.timeout_ms.is_some()
+        || cli.retries > 0
+        || cli.shard.is_some();
     if !wanted {
         return Ok(None);
     }
@@ -412,6 +526,7 @@ fn activate_durability(cli: &Cli) -> Result<Option<DurabilityGuard>, String> {
         resume: cli.resume,
         timeout: cli.timeout_ms.map(Duration::from_millis),
         retries: cli.retries,
+        shard: cli.shard,
     };
     let (guard, report) = durability::activate(config).map_err(|e| e.to_string())?;
     if cli.resume {
@@ -436,6 +551,84 @@ fn activate_durability(cli: &Cli) -> Result<Option<DurabilityGuard>, String> {
         }
     }
     Ok(Some(guard))
+}
+
+/// The command-line tail handed to every shard worker after the
+/// generated `--shard i/n --journal PATH [--resume]` prefix: the
+/// rendering command plus the forwarded per-point policy flags.
+fn worker_args(cli: &Cli) -> Result<Vec<String>, String> {
+    let mut args: Vec<String> = Vec::new();
+    match &cli.command {
+        Command::All => args.push("--all".into()),
+        Command::Experiments => args.push("--experiments".into()),
+        Command::Table(n) => args.extend(["--table".into(), n.clone()]),
+        Command::Figure(n) => args.extend(["--figure".into(), n.clone()]),
+        Command::Scenario(n) => args.extend(["--scenario".into(), n.clone()]),
+        Command::Json(which) => args.extend(["--json".into(), which.clone()]),
+        Command::Csv(which) => args.extend(["--csv".into(), which.clone()]),
+        Command::Help | Command::BenchSnapshot(_) | Command::BenchCheck(_) => {
+            return Err(format!(
+                "--shards needs a rendering command\n{}",
+                usage()
+            ))
+        }
+    }
+    if let Some(ms) = cli.timeout_ms {
+        args.extend(["--timeout-ms".into(), ms.to_string()]);
+    }
+    if cli.retries > 0 {
+        args.extend(["--retries".into(), cli.retries.to_string()]);
+    }
+    Ok(args)
+}
+
+/// `--shards N`: run the worker fleet to completion and merge the shard
+/// journals into `cli.journal`. The caller then renders by replaying
+/// the merged journal, so worker crashes and abandoned leases cost
+/// wall time, never output bytes.
+fn run_shard_fleet(cli: &Cli, shards: usize) -> Result<(), String> {
+    let merged = cli
+        .journal
+        .clone()
+        .ok_or_else(|| format!("--shards requires --journal PATH\n{}", usage()))?;
+    let program = std::env::current_exe()
+        .map_err(|e| format!("cannot locate the repro executable: {e}"))?;
+    let mut cfg = OrchestratorConfig::new(shards, merged, program, worker_args(cli)?);
+    cfg.stall_timeout = Duration::from_millis(cli.shard_stall_ms);
+    cfg.lease_retries = cli.shard_retries;
+    let report = shard::orchestrate(&cfg).map_err(|e| e.to_string())?;
+    for outcome in &report.shards {
+        let mut notes: Vec<String> = Vec::new();
+        if outcome.crashes > 0 {
+            notes.push(format!("{} crash(es)", outcome.crashes));
+        }
+        if outcome.stalls > 0 {
+            notes.push(format!("{} stall(s)", outcome.stalls));
+        }
+        if !outcome.completed {
+            notes.push(String::from("lease abandoned"));
+        }
+        let notes = if notes.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", notes.join(", "))
+        };
+        eprintln!(
+            "shard {}/{}: {} journaled record(s) in {} attempt(s){notes}",
+            outcome.shard, shards, outcome.records, outcome.attempts
+        );
+    }
+    eprintln!(
+        "shards: merged {} record(s) ({} duplicate(s), {} rejected, {} torn tail(s), \
+         {} missing journal(s)) into {}",
+        report.merge.records,
+        report.merge.duplicates,
+        report.merge.rejected,
+        report.merge.torn_tails,
+        report.merge.missing,
+        cfg.merged_journal.display(),
+    );
+    Ok(())
 }
 
 fn projection(which: &str) -> Result<ucore_project::FigureData, Box<dyn std::error::Error>> {
@@ -465,9 +658,16 @@ fn print_stats(snapshot: &MetricsSnapshot, total: Duration) {
     };
     eprintln!("--- repro --stats ---");
     for (i, s) in ucore_project::sweep::drain_phase_log().iter().enumerate() {
+        // The lease note appears only for shard workers, so unsharded
+        // runs keep the exact historical phase-line bytes.
+        let lease_note = if s.points_skipped > 0 {
+            format!(", {} lease-skipped", s.points_skipped)
+        } else {
+            String::new()
+        };
         eprintln!(
             "sweep phase {i}: {} points ({} ok, {} infeasible, {} failed) on {} threads, \
-             {} cache hits, {} misses, {} journal hits, {} retries, {:.3} ms",
+             {} cache hits, {} misses, {} journal hits, {} retries{lease_note}, {:.3} ms",
             s.points,
             s.points_ok,
             s.points_infeasible,
@@ -500,6 +700,33 @@ fn print_stats(snapshot: &MetricsSnapshot, total: Duration) {
         snapshot.counter("journal.stale"),
         snapshot.counter("points.retries"),
     );
+    // Shard lines appear only when sharding was actually exercised, so
+    // every pre-existing --stats consumer sees unchanged bytes.
+    if snapshot.counter("shard.workers_spawned") > 0 {
+        eprintln!(
+            "sharding: {} workers spawned ({} ok, {} crashed, {} stalled), \
+             {} leases reassigned, {} abandoned",
+            snapshot.counter("shard.workers_spawned"),
+            snapshot.counter("shard.workers_ok"),
+            snapshot.counter("shard.workers_crashed"),
+            snapshot.counter("shard.workers_stalled"),
+            snapshot.counter("shard.leases_reassigned"),
+            snapshot.counter("shard.leases_abandoned"),
+        );
+        eprintln!(
+            "shard merge: {} records ({} duplicates deduped, {} rejected on \
+             fingerprint mismatch)",
+            snapshot.counter("shard.merge_records"),
+            snapshot.counter("shard.merge_duplicates"),
+            snapshot.counter("shard.merge_rejected"),
+        );
+    }
+    if snapshot.counter("shard.points_skipped") > 0 {
+        eprintln!(
+            "shard lease: {} out-of-lease points skipped",
+            snapshot.counter("shard.points_skipped"),
+        );
+    }
     eprintln!(
         "failure log: {} retained (cap {}), {} dropped",
         ucore_project::failure_diagnostics().len(),
@@ -628,8 +855,12 @@ fn write_observability(cli: &Cli, snapshot: &MetricsSnapshot) -> Result<(), Stri
 }
 
 fn main() -> ExitCode {
+    // Installed before any journal can open: SIGINT/SIGTERM fsync the
+    // active journal and exit 130/143, so an interrupted worker's
+    // journal tail is durable and the run is always resumable.
+    signals::install();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cli = match parse(args) {
+    let mut cli = match parse(args) {
         Ok(cli) => cli,
         Err(e) => {
             eprintln!("{e}");
@@ -668,6 +899,24 @@ fn main() -> ExitCode {
         }
         _ => {}
     }
+    // Orchestrator mode: run the worker fleet first, then fall through
+    // to the ordinary render path in *resume* mode against the merged
+    // journal — replay makes the output byte-identical to a
+    // single-process run, and any points an abandoned lease never
+    // journaled are simply evaluated here, in-process.
+    let mut _shard_quiet = None;
+    if let Some(shards) = cli.shards {
+        if let Err(e) = run_shard_fleet(&cli, shards) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        // The workers inherited any UCORE_FAULT_INJECT plan and already
+        // honored it; an empty active plan keeps the orchestrator's own
+        // replay-render from re-triggering the same fault.
+        _shard_quiet = Some(faultinject::activate(FaultPlan::new()));
+        cli.resume = true;
+    }
+    let cli = cli;
     // Keep the journal alive (and fsync'd) for the whole render.
     let _durability_guard = match activate_durability(&cli) {
         Ok(guard) => guard,
@@ -703,10 +952,54 @@ fn main() -> ExitCode {
     }
     // Fault-containment accounting: rendering succeeded point-by-point,
     // but the run as a whole is only healthy if contained failures stay
-    // within the caller's tolerance.
-    if snapshot.counter("points.failed") > cli.max_failures {
+    // within the caller's tolerance. Shard *workers* skip this policing
+    // — their journaled Failed records replay in the orchestrator,
+    // which polices the whole merged run once.
+    if cli.shard.is_none() && snapshot.counter("points.failed") > cli.max_failures {
         print_failure_diagnostic(&snapshot, cli.max_failures);
         return ExitCode::from(2);
     }
     code
+}
+
+/// SIGINT/SIGTERM handling: fsync the active journal and exit with the
+/// conventional `128 + signum` code (130 for SIGINT, 143 for SIGTERM),
+/// distinct from 1 (error) and 2 (policy breach), so callers can tell
+/// "interrupted but resumable" apart from "failed". Everything in the
+/// handler is async-signal-safe: one atomic load, `fsync(2)`,
+/// `_exit(2)` — no allocation, no locks, no Rust I/O.
+#[cfg(unix)]
+mod signals {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        fn fsync(fd: i32) -> i32;
+        fn _exit(code: i32) -> !;
+    }
+
+    extern "C" fn flush_and_exit(signum: i32) {
+        let fd = ucore_project::durability::active_journal_fd();
+        if fd >= 0 {
+            // SAFETY: fsync(2) is async-signal-safe; a stale or closed
+            // descriptor returns EBADF, which is ignored.
+            unsafe { fsync(fd) };
+        }
+        // SAFETY: _exit(2) is async-signal-safe and never returns.
+        unsafe { _exit(128 + signum) }
+    }
+
+    pub fn install() {
+        for sig in [SIGINT, SIGTERM] {
+            // SAFETY: signal(2) installing a handler that only performs
+            // async-signal-safe operations (see flush_and_exit).
+            unsafe { signal(sig, flush_and_exit) };
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    pub fn install() {}
 }

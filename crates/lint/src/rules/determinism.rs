@@ -23,7 +23,8 @@ pub struct Determinism;
 
 /// File names (within model-crate `src/` trees) that assemble or
 /// serialize output bytes.
-const OUTPUT_FILES: [&str; 4] = ["sweep.rs", "journal.rs", "figures.rs", "results.rs"];
+const OUTPUT_FILES: [&str; 5] =
+    ["sweep.rs", "journal.rs", "figures.rs", "results.rs", "shard.rs"];
 
 impl Rule for Determinism {
     fn name(&self) -> &'static str {
@@ -121,6 +122,7 @@ mod tests {
             "crates/project/src/journal.rs",
             "crates/project/src/figures.rs",
             "crates/project/src/results.rs",
+            "crates/project/src/shard.rs",
             "crates/bench/src/figures.rs",
             "crates/report/src/csv.rs",
             "crates/obs/src/clock.rs",

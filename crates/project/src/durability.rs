@@ -30,9 +30,12 @@
 use crate::journal::{
     self, JournalError, JournalRecord, JournalWriter, ReplayLookup, ReplayMap, ReplayReport,
 };
+use crate::shard::ShardSpec;
 use std::cell::Cell;
 use std::fmt;
 use std::path::PathBuf;
+#[cfg(unix)]
+use std::sync::atomic::AtomicI32;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
@@ -50,6 +53,11 @@ pub struct DurabilityConfig {
     /// Retry attempts for failed points (`--retries N`; 0 = no
     /// retries).
     pub retries: u32,
+    /// Restrict every sweep to this shard's index-range lease
+    /// (`--shard I/N`). Out-of-lease points are skipped without
+    /// evaluation or journaling and reported in
+    /// `SweepStats::points_skipped`.
+    pub shard: Option<ShardSpec>,
 }
 
 /// Errors raised while activating a durability configuration.
@@ -103,6 +111,7 @@ pub(crate) struct DurabilityContext {
     replay: ReplayMap,
     timeout: Option<Duration>,
     retries: u32,
+    shard: Option<ShardSpec>,
     sweep_seq: AtomicU64,
 }
 
@@ -120,6 +129,12 @@ impl DurabilityContext {
 
     pub(crate) fn retries(&self) -> u32 {
         self.retries
+    }
+
+    /// The shard lease restricting every sweep, if this process is a
+    /// shard worker.
+    pub(crate) fn shard(&self) -> Option<ShardSpec> {
+        self.shard
     }
 
     pub(crate) fn lookup(
@@ -185,7 +200,32 @@ impl Drop for DurabilityGuard {
         if let Some(ctx) = ctx {
             ctx.sync();
         }
+        publish_journal_fd(None);
     }
+}
+
+/// The active journal's raw file descriptor, published for
+/// async-signal-safe access. `-1` means no journal is active.
+#[cfg(unix)]
+static ACTIVE_JOURNAL_FD: AtomicI32 = AtomicI32::new(-1);
+
+/// Publishes (or clears, on `None`) the active journal's descriptor.
+#[cfg(unix)]
+fn publish_journal_fd(writer: Option<&JournalWriter>) {
+    ACTIVE_JOURNAL_FD.store(writer.map_or(-1, JournalWriter::raw_fd), Ordering::SeqCst);
+}
+
+#[cfg(not(unix))]
+fn publish_journal_fd(_writer: Option<&JournalWriter>) {}
+
+/// The active journal's raw file descriptor, or `-1` when no journal
+/// is active. Safe to call from a signal handler (one atomic load):
+/// `repro`'s SIGTERM/SIGINT handlers `fsync(2)` this descriptor so an
+/// interrupted worker's journal tail is durable and the run is always
+/// resumable.
+#[cfg(unix)]
+pub fn active_journal_fd() -> i32 {
+    ACTIVE_JOURNAL_FD.load(Ordering::SeqCst)
 }
 
 /// Installs a durability configuration for every sweep in the process
@@ -216,16 +256,18 @@ pub fn activate(
         (ReplayMap::empty(), ReplayReport::default())
     };
     let writer = match &config.journal {
-        Some(path) if config.resume => Some(Mutex::new(JournalWriter::append_to(path)?)),
-        Some(path) => Some(Mutex::new(JournalWriter::create(path)?)),
+        Some(path) if config.resume => Some(JournalWriter::append_to(path)?),
+        Some(path) => Some(JournalWriter::create(path)?),
         None => None,
     };
+    publish_journal_fd(writer.as_ref());
     let ctx = DurabilityContext {
-        writer,
+        writer: writer.map(Mutex::new),
         journal_broken: AtomicBool::new(false),
         replay,
         timeout: config.timeout,
         retries: config.retries,
+        shard: config.shard,
         sweep_seq: AtomicU64::new(0),
     };
     match ACTIVE.write() {

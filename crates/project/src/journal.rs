@@ -385,6 +385,7 @@ impl JournalWriter {
     /// Propagates filesystem errors.
     pub fn create(path: &Path) -> Result<Self, JournalError> {
         let file = File::create(path)?;
+        sync_dir(&parent_dir(path))?;
         Ok(JournalWriter { file, path: path.to_path_buf(), appended: 0, unsynced: 0 })
     }
 
@@ -397,6 +398,7 @@ impl JournalWriter {
     /// Propagates filesystem errors.
     pub fn append_to(path: &Path) -> Result<Self, JournalError> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
+        sync_dir(&parent_dir(path))?;
         Ok(JournalWriter { file, path: path.to_path_buf(), appended: 0, unsynced: 0 })
     }
 
@@ -436,6 +438,15 @@ impl JournalWriter {
     /// The journal's path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// The journal's raw file descriptor, for async-signal-safe
+    /// flushing from a signal handler (`fsync(2)` is on the
+    /// signal-safety list; nothing in Rust's `File` API is).
+    #[cfg(unix)]
+    pub fn raw_fd(&self) -> i32 {
+        use std::os::unix::io::AsRawFd;
+        self.file.as_raw_fd()
     }
 }
 
@@ -539,18 +550,9 @@ pub struct ReplayReport {
 /// an invalid complete record.
 pub fn replay(path: &Path) -> Result<(ReplayMap, ReplayReport), JournalError> {
     let _span = ucore_obs::span!("journal.replay");
-    let bytes = fs::read(path)?;
+    let (records, mut report) = read_records(path)?;
     let mut map = ReplayMap::empty();
-    let mut report = ReplayReport::default();
-    let mut start = 0;
-    let mut line_no = 0;
-    while let Some(nl) = bytes[start..].iter().position(|&b| b == b'\n') {
-        let line = &bytes[start..start + nl];
-        start += nl + 1;
-        line_no += 1;
-        let text = std::str::from_utf8(line)
-            .map_err(|_| corrupt(line_no, "record is not valid UTF-8"))?;
-        let record = decode_record(text, line_no)?;
+    for record in records {
         let replayed = ReplayedOutcome {
             fingerprint: record.fingerprint,
             retries: record.retries,
@@ -564,21 +566,74 @@ pub fn replay(path: &Path) -> Result<(ReplayMap, ReplayReport), JournalError> {
             report.duplicates += 1;
         }
     }
+    report.records = map.len();
+    Ok((map, report))
+}
+
+/// Reads a journal's intact records in file order, without collapsing
+/// duplicate `(sweep_seq, index)` slots — the building block shard
+/// merging uses to apply its own dedup policy. Validation is exactly
+/// [`replay`]'s: every complete line must decode, a torn tail is
+/// skipped and flagged. The returned report counts raw records and
+/// leaves `duplicates` at zero.
+///
+/// # Errors
+///
+/// [`JournalError::Io`] on read failure, [`JournalError::Corrupt`] on
+/// an invalid complete record.
+pub fn read_records(path: &Path) -> Result<(Vec<JournalRecord>, ReplayReport), JournalError> {
+    let bytes = fs::read(path)?;
+    let mut records = Vec::new();
+    let mut report = ReplayReport::default();
+    let mut start = 0;
+    let mut line_no = 0;
+    while let Some(nl) = bytes[start..].iter().position(|&b| b == b'\n') {
+        let line = &bytes[start..start + nl];
+        start += nl + 1;
+        line_no += 1;
+        let text = std::str::from_utf8(line)
+            .map_err(|_| corrupt(line_no, "record is not valid UTF-8"))?;
+        records.push(decode_record(text, line_no)?);
+    }
     if start < bytes.len() {
         report.torn_tail = true;
     }
-    report.records = map.len();
-    Ok((map, report))
+    report.records = records.len();
+    Ok((records, report))
 }
 
 // ---------------------------------------------------------------------
 // Atomic artifact writes
 // ---------------------------------------------------------------------
 
-/// Writes `bytes` to `path` atomically: the data lands in a temporary
-/// sibling file, is fsync'd, and only then renamed over the target.
-/// Readers — and a crash at any instant — see either the complete old
-/// file or the complete new file, never a torn one.
+/// The directory a path's file lives in (`.` for bare file names).
+fn parent_dir(path: &Path) -> PathBuf {
+    match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    }
+}
+
+/// Fsyncs a directory so a just-created or just-renamed entry inside it
+/// survives power loss. On unix this is a real `fsync` of the opened
+/// directory and its failure propagates; elsewhere directories cannot
+/// be opened for syncing and the call is a no-op (the rename itself is
+/// still atomic).
+#[cfg(unix)]
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+#[cfg(not(unix))]
+fn sync_dir(_dir: &Path) -> io::Result<()> {
+    Ok(())
+}
+
+/// Writes `bytes` to `path` atomically and durably: the data lands in
+/// a temporary sibling file, is fsync'd, renamed over the target, and
+/// the parent directory is fsync'd so the rename itself survives power
+/// loss. Readers — and a crash at any instant — see either the
+/// complete old file or the complete new file, never a torn one.
 ///
 /// # Errors
 ///
@@ -590,7 +645,7 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
 
 /// The streaming form of [`atomic_write`]: `fill` receives the
 /// temporary file to populate. Used directly for large artifacts; the
-/// same crash-safety contract applies.
+/// same crash-safety and durability contract applies.
 ///
 /// # Errors
 ///
@@ -603,10 +658,7 @@ pub fn atomic_write_with(
     let name = path.file_name().ok_or_else(|| {
         io::Error::new(io::ErrorKind::InvalidInput, "atomic_write target has no file name")
     })?;
-    let dir = match path.parent() {
-        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
-        _ => PathBuf::from("."),
-    };
+    let dir = parent_dir(path);
     let tmp = dir.join(format!(
         ".{}.tmp.{}",
         name.to_string_lossy(),
@@ -617,14 +669,14 @@ pub fn atomic_write_with(
         fill(&mut file)?;
         file.sync_all()?;
         drop(file);
-        fs::rename(&tmp, path)
+        fs::rename(&tmp, path)?;
+        // Without this the rename can evaporate on power loss: the
+        // data blocks are durable but the directory entry pointing at
+        // them is not.
+        sync_dir(&dir)
     })();
     if result.is_err() {
         let _ = fs::remove_file(&tmp);
-    } else if let Ok(d) = File::open(&dir) {
-        // Make the rename itself durable; best-effort, as on platforms
-        // where directories cannot be fsync'd the rename is still atomic.
-        let _ = d.sync_all();
     }
     result
 }

@@ -18,7 +18,10 @@
 //! * [`journal`] — the append-only, checksummed run journal (and the
 //!   [`atomic_write`] helper for crash-safe artifacts);
 //! * [`durability`] — checkpoint/resume, per-point watchdog deadlines,
-//!   and retry-with-backoff orchestration over the sweep engine.
+//!   and retry-with-backoff orchestration over the sweep engine;
+//! * [`shard`] — multi-process sweep sharding: index-range leases,
+//!   worker-crash/stall tolerance with bounded lease reassignment, and
+//!   the deterministic shard-journal merge.
 //!
 //! ## Durability & recovery
 //!
@@ -31,6 +34,19 @@
 //! per-point watchdog deadline converts stuck evaluations into
 //! contained `Failed{timeout}` outcomes, and failed points retry with
 //! exponential backoff and deterministic jitter.
+//!
+//! ## Sharded execution
+//!
+//! A sweep shards across *processes* the same way it fans across
+//! threads: [`ShardSpec::lease`] assigns worker `i` of `n` a contiguous
+//! index range of every sweep, each worker journals only its lease, and
+//! [`merge_journals`] folds the shard journals into one index-sorted
+//! journal whose replay reproduces the single-process figure bytes
+//! exactly. [`orchestrate`] runs the whole fleet: it spawns the
+//! workers, watches journal-growth heartbeats, reassigns a crashed or
+//! stalled worker's lease with bounded deterministic backoff, and
+//! degrades gracefully — an abandoned lease's points are simply evaluated
+//! in-process from the merged journal's gaps.
 //!
 //! ## Parallelism, caching and determinism
 //!
@@ -69,6 +85,7 @@ pub mod journal;
 mod obs;
 pub mod results;
 pub mod scenario;
+pub mod shard;
 pub mod sweep;
 pub mod uncertainty;
 
@@ -80,11 +97,15 @@ pub use durability::{
 };
 pub use engine::{DesignId, ProjectionEngine, ProjectionError, YearPoint};
 pub use journal::{
-    atomic_write, atomic_write_with, point_fingerprint, JournalError, JournalRecord,
-    JournalWriter, ReplayReport,
+    atomic_write, atomic_write_with, point_fingerprint, read_records, JournalError,
+    JournalRecord, JournalWriter, ReplayReport,
 };
 pub use results::{FailureRecord, FigureData, NodePoint, Panel, Series, SweepHealth};
 pub use scenario::Scenario;
+pub use shard::{
+    lease_ranges, merge_journals, orchestrate, shard_journal_path, shard_log_path,
+    MergeReport, OrchestratorConfig, ShardError, ShardOutcome, ShardRunReport, ShardSpec,
+};
 pub use sweep::{
     failure_diagnostics, failures_dropped, figure_points, outcome_totals, sweep,
     FailureDiagnostic, Outcome, OutcomeTotals, SweepConfig, SweepPoint, SweepResult,

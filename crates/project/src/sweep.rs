@@ -60,6 +60,7 @@ use crate::obs;
 use crate::results::NodePoint;
 use std::any::Any;
 use std::cell::Cell;
+use std::ops::Range;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, Once, PoisonError};
@@ -196,6 +197,11 @@ pub struct SweepStats {
     /// Points whose evaluation failed (contained panic or injected
     /// fault).
     pub points_failed: usize,
+    /// Points outside this process's shard lease, skipped without
+    /// evaluation or journaling. Always 0 unless a `--shard I/N` lease
+    /// is active; skipped points are excluded from
+    /// `points_infeasible`.
+    pub points_skipped: usize,
     /// Worker threads used.
     pub threads: usize,
     /// Cache hits during this sweep.
@@ -314,6 +320,10 @@ pub fn sweep(
     // journaled ones.
     let sweep_seq = dur.map(|d| d.next_sweep_seq()).unwrap_or(0);
     let _span = ucore_obs::span!("project.sweep", sweep_seq, points.len());
+    // A shard worker owns only its lease of the batch; everything else
+    // is skipped before evaluation, journaling, or fault injection.
+    let lease = dur.and_then(|d| d.shard()).map(|spec| spec.lease(points.len()));
+    let lease = lease.as_ref();
     let cache_before = engine.cache().stats();
     // ucore-lint: allow(determinism): wall-clock feeds only the SweepStats elapsed field, which is observability metadata excluded from output bytes
     let start = Instant::now();
@@ -322,10 +332,14 @@ pub fn sweep(
         points
             .iter()
             .enumerate()
-            .map(|(i, p)| resolve_point(engine, p, i, config.use_cache, plan, dur, sweep_seq))
+            .map(|(i, p)| {
+                resolve_point(engine, p, i, config.use_cache, plan, dur, sweep_seq, lease)
+            })
             .collect()
     } else {
-        parallel_resolutions(engine, &points, threads, config.use_cache, plan, dur, sweep_seq)
+        parallel_resolutions(
+            engine, &points, threads, config.use_cache, plan, dur, sweep_seq, lease,
+        )
     };
     // One batch-final fsync bounds journal loss to the in-flight tail.
     if let Some(d) = dur {
@@ -338,8 +352,11 @@ pub fn sweep(
         .iter()
         .filter(|r| r.outcome.node_point().is_some())
         .count();
-    let points_infeasible =
-        resolutions.iter().filter(|r| r.outcome.is_infeasible()).count();
+    let points_skipped = resolutions.iter().filter(|r| r.skipped).count();
+    let points_infeasible = resolutions
+        .iter()
+        .filter(|r| r.outcome.is_infeasible() && !r.skipped)
+        .count();
     let points_failed = resolutions.iter().filter(|r| r.outcome.is_failed()).count();
     let journal_hits = resolutions.iter().filter(|r| r.replayed).count() as u64;
     let retries: u64 = resolutions.iter().map(|r| u64::from(r.retries)).sum();
@@ -349,6 +366,9 @@ pub fn sweep(
     m.ok.add(points_ok as u64);
     m.infeasible.add(points_infeasible as u64);
     m.failed.add(points_failed as u64);
+    if points_skipped > 0 {
+        m.shard_points_skipped.add(points_skipped as u64);
+    }
     // Feasible speedups are model outputs, so this histogram is part of
     // the deterministic snapshot (bucket counts are order-independent).
     for speedup in resolutions
@@ -368,6 +388,7 @@ pub fn sweep(
         points_ok,
         points_infeasible,
         points_failed,
+        points_skipped,
         threads,
         cache_hits: cache_after.hits - cache_before.hits,
         cache_misses: cache_after.misses - cache_before.misses,
@@ -416,6 +437,10 @@ struct PointResolution {
     retries: u32,
     /// Whether the outcome came from the replayed journal.
     replayed: bool,
+    /// Whether the point was outside this worker's shard lease and
+    /// skipped without evaluation (its `Infeasible` outcome is a
+    /// placeholder, not a model result).
+    skipped: bool,
 }
 
 /// Resolves one point through the full durability pipeline:
@@ -431,6 +456,12 @@ struct PointResolution {
 ///    deterministic backoff ([`durability::backoff_delay`]).
 /// 4. **Journal** — the settled outcome (and its retry count) is
 ///    appended to the run journal.
+///
+/// With a shard `lease` active, an out-of-lease point short-circuits
+/// *before* any of the above: it is not evaluated, not journaled, and
+/// no injected fault fires for it — only the worker that owns a point
+/// can crash on it.
+#[allow(clippy::too_many_arguments)]
 fn resolve_point(
     engine: &ProjectionEngine,
     point: &SweepPoint,
@@ -439,7 +470,16 @@ fn resolve_point(
     plan: Option<&FaultPlan>,
     dur: Option<&DurabilityContext>,
     sweep_seq: u64,
+    lease: Option<&Range<usize>>,
 ) -> PointResolution {
+    if lease.is_some_and(|l| !l.contains(&index)) {
+        return PointResolution {
+            outcome: Outcome::Infeasible,
+            retries: 0,
+            replayed: false,
+            skipped: true,
+        };
+    }
     let _span = ucore_obs::span!("engine.node_point", sweep_seq, index);
     let fingerprint = dur.map(|_| journal::point_fingerprint(point));
     if let (Some(d), Some(fp)) = (dur, fingerprint) {
@@ -449,6 +489,7 @@ fn resolve_point(
                     outcome: rec.outcome.clone(),
                     retries: rec.retries,
                     replayed: true,
+                    skipped: false,
                 }
             }
             ReplayLookup::Stale => durability::note_journal_stale(1),
@@ -494,7 +535,7 @@ fn resolve_point(
             });
         }
     }
-    PointResolution { outcome, retries: attempt, replayed: false }
+    PointResolution { outcome, retries: attempt, replayed: false, skipped: false }
 }
 
 /// How often the stall detector samples worker heartbeats, and how far
@@ -524,6 +565,7 @@ fn parallel_resolutions(
     plan: Option<&FaultPlan>,
     dur: Option<&DurabilityContext>,
     sweep_seq: u64,
+    lease: Option<&Range<usize>>,
 ) -> Vec<PointResolution> {
     let next = AtomicUsize::new(0);
     let done = AtomicBool::new(false);
@@ -553,7 +595,7 @@ fn parallel_resolutions(
                         local.push((
                             i,
                             resolve_point(
-                                engine, point, i, use_cache, plan, dur, sweep_seq,
+                                engine, point, i, use_cache, plan, dur, sweep_seq, lease,
                             ),
                         ));
                         *heartbeat.lock().unwrap_or_else(PoisonError::into_inner) = None;
@@ -601,6 +643,7 @@ fn parallel_resolutions(
                 outcome: Outcome::Failed { panic_msg: worker_msg.clone() },
                 retries: 0,
                 replayed: false,
+                skipped: false,
             })
         })
         .collect()
