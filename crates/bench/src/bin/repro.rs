@@ -55,7 +55,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
-use ucore_bench::{figures, scenarios, snapshot, tables};
+use ucore_bench::snapshot;
 use ucore_obs::MetricsSnapshot;
 use ucore_project::durability::{self, DurabilityConfig, DurabilityGuard};
 use ucore_project::faultinject::{self, FaultPlan};
@@ -631,15 +631,15 @@ fn run_shard_fleet(cli: &Cli, shards: usize) -> Result<(), String> {
     Ok(())
 }
 
-fn projection(which: &str) -> Result<ucore_project::FigureData, Box<dyn std::error::Error>> {
-    Ok(match which {
-        "figure-6" => ucore_project::figures::figure6()?,
-        "figure-7" => ucore_project::figures::figure7()?,
-        "figure-8" => ucore_project::figures::figure8()?,
-        "figure-9" => ucore_project::figures::figure9()?,
-        "figure-10" => ucore_project::figures::figure10()?,
-        other => return Err(format!("unknown projection target {other}\n{}", usage()).into()),
-    })
+/// Renders one shared-module target, restoring the CLI's historical
+/// error bytes: bad targets get the usage banner appended, model
+/// failures pass through verbatim.
+fn target_bytes(target: &ucore_bench::Target) -> Result<String, Box<dyn std::error::Error>> {
+    match ucore_bench::render::render(target) {
+        Ok(rendered) => Ok(rendered.body),
+        Err(e) if e.is_bad_target() => Err(format!("{e}\n{}", usage()).into()),
+        Err(e) => Err(e.to_string().into()),
+    }
 }
 
 /// Renders `--stats` from one coherent [`MetricsSnapshot`], taken after
@@ -758,57 +758,20 @@ fn print_failure_diagnostic(snapshot: &MetricsSnapshot, max_failures: u64) {
 
 /// Renders the requested command to the exact bytes that would go to
 /// stdout — so `--out` can write the identical artifact atomically.
+/// Target rendering is delegated to [`ucore_bench::render`], the module
+/// the `ucore-serve` daemon also answers from, so CLI and served bytes
+/// can never drift apart.
 fn render(command: &Command) -> Result<String, Box<dyn std::error::Error>> {
-    // `All`/`Experiments` renderers end with their own newline; every
-    // other command historically went through `println!`, so a trailing
-    // newline is appended to match byte-for-byte.
+    use ucore_bench::Target;
     let out = match command {
         Command::Help => format!("{}\n", usage()),
         Command::All => ucore_bench::render_all()?,
         Command::Experiments => ucore_bench::experiments::render()?,
-        Command::Table(n) => {
-            let body = match n.as_str() {
-                "1" => tables::table1()?,
-                "2" => tables::table2(),
-                "3" => tables::table3(),
-                "4" => tables::table4(),
-                "5" => tables::table5()?,
-                "6" => tables::table6(),
-                other => {
-                    return Err(format!("table {other} is not one of 1-6\n{}", usage()).into())
-                }
-            };
-            format!("{body}\n")
-        }
-        Command::Figure(n) => {
-            let body = match n.as_str() {
-                "2" => figures::figure2(),
-                "3" => figures::figure3(),
-                "4" => figures::figure4(),
-                "5" => figures::figure5(),
-                "6" => figures::figure6()?,
-                "7" => figures::figure7()?,
-                "8" => figures::figure8()?,
-                "9" => figures::figure9()?,
-                "10" => figures::figure10()?,
-                other => {
-                    return Err(
-                        format!("figure {other} is not one of 2-10\n{}", usage()).into()
-                    )
-                }
-            };
-            format!("{body}\n")
-        }
-        Command::Scenario(n) => {
-            let n: u8 = n
-                .parse()
-                .map_err(|_| format!("scenario {n:?} is not one of 1-6\n{}", usage()))?;
-            format!("{}\n", scenarios::scenario(n)?)
-        }
-        Command::Json(which) => {
-            format!("{}\n", serde_json::to_string_pretty(&projection(which)?)?)
-        }
-        Command::Csv(which) => format!("{}\n", figures::figure_csv(&projection(which)?)),
+        Command::Table(n) => target_bytes(&Target::Table(n.clone()))?,
+        Command::Figure(n) => target_bytes(&Target::Figure(n.clone()))?,
+        Command::Scenario(n) => target_bytes(&Target::Scenario(n.clone()))?,
+        Command::Json(which) => target_bytes(&Target::Json(which.clone()))?,
+        Command::Csv(which) => target_bytes(&Target::Csv(which.clone()))?,
         // Handled in main before render is reached.
         Command::BenchSnapshot(_) | Command::BenchCheck(_) => String::new(),
     };

@@ -13,9 +13,12 @@
 
 pub mod experiments;
 pub mod figures;
+pub mod render;
 pub mod scenarios;
 pub mod snapshot;
 pub mod tables;
+
+pub use render::{Rendered, RenderError, Target};
 
 /// Renders every table and figure in order, as the `--all` flag does.
 ///

@@ -124,6 +124,8 @@ ucore_journal_hits 0
 ucore_journal_stale 0
 # TYPE ucore_journal_syncs counter
 ucore_journal_syncs 0
+# TYPE ucore_journal_write_errors counter
+ucore_journal_write_errors 0
 # TYPE ucore_points_failed counter
 ucore_points_failed 0
 # TYPE ucore_points_infeasible counter

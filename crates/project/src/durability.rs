@@ -152,15 +152,26 @@ impl DurabilityContext {
     }
 
     /// Appends one completed point. Write failures disable journaling
-    /// for the rest of the run with a single stderr warning.
+    /// for the rest of the run with a single stderr warning. A planned
+    /// `enospc@i` / `eio@i` disk fault for this record's submission
+    /// index fails the append with a synthesized I/O error, exercising
+    /// exactly this degradation path.
     pub(crate) fn append(&self, record: &JournalRecord) {
         if self.journal_broken.load(Ordering::Relaxed) {
             return;
         }
         let Some(writer) = &self.writer else { return };
         let mut writer = writer.lock().unwrap_or_else(PoisonError::into_inner);
-        if let Err(e) = writer.append(record) {
+        let injected = crate::faultinject::current_plan()
+            .and_then(|plan| plan.fault_at(record.index))
+            .and_then(crate::faultinject::Fault::disk_error);
+        let outcome = match injected {
+            Some(e) => Err(JournalError::Io(e)),
+            None => writer.append(record),
+        };
+        if let Err(e) = outcome {
             self.journal_broken.store(true, Ordering::Relaxed);
+            crate::obs::metrics().journal_write_errors.inc();
             eprintln!(
                 "warning: run journal {} disabled after write failure: {e}",
                 writer.path().display()
@@ -397,6 +408,11 @@ pub(crate) fn timeout_message(index: usize, budget: Duration) -> String {
 /// catches and converts to `Failed{timeout}`. Outside an armed
 /// evaluation (the common case — sequential engine paths, tests) it is
 /// a no-op costing one thread-local read.
+///
+/// The checkpoint also honors a *request* deadline (see
+/// [`arm_request_deadline`]): a serving worker past its per-request
+/// budget trips here with a distinct message, so every remaining point
+/// of an over-budget request fails fast instead of wedging the worker.
 pub fn watchdog_checkpoint() {
     if let Some((start, budget)) = watchdog_state() {
         if start.elapsed() >= budget {
@@ -407,6 +423,68 @@ pub fn watchdog_checkpoint() {
             );
         }
     }
+    if let Some((start, budget)) = request_deadline_state() {
+        if start.elapsed() >= budget {
+            // ucore-lint: allow(panic-freedom): the request-deadline panic is the same containment signal as the watchdog's; the sweep boundary converts it to a Failed outcome
+            panic!(
+                "request deadline exceeded ({} ms budget) at cooperative checkpoint",
+                budget.as_millis()
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-request deadlines (serving)
+// ---------------------------------------------------------------------
+
+thread_local! {
+    /// The deadline armed for the *request* currently being served on
+    /// this thread, if any: (start instant, budget). Kept separate from
+    /// [`WATCHDOG`] because the sweep disarms the per-point watchdog
+    /// after every evaluation, while a request deadline must outlive
+    /// every point of the request.
+    static REQUEST_DEADLINE: Cell<Option<(Instant, Duration)>> =
+        const { Cell::new(None) };
+}
+
+/// Disarms the request deadline (restoring any enclosing one) on drop.
+#[derive(Debug)]
+pub struct RequestDeadlineGuard {
+    previous: Option<(Instant, Duration)>,
+}
+
+impl Drop for RequestDeadlineGuard {
+    fn drop(&mut self) {
+        REQUEST_DEADLINE.with(|d| d.set(self.previous.take()));
+    }
+}
+
+/// Arms a per-request deadline on the current thread.
+///
+/// While the returned guard lives, [`watchdog_checkpoint`] panics with
+/// a deterministic `request deadline exceeded` message once `budget`
+/// has elapsed — inside a sweep that panic is contained per point, so
+/// an over-budget request degrades to fast `Failed` outcomes instead of
+/// hanging. The deadline is thread-local: a serving worker that runs
+/// its sweeps on the same thread (`UCORE_SWEEP_THREADS=1`) covers the
+/// whole request.
+#[must_use]
+pub fn arm_request_deadline(budget: Duration) -> RequestDeadlineGuard {
+    let previous =
+        REQUEST_DEADLINE.with(|d| d.replace(Some((Instant::now(), budget))));
+    RequestDeadlineGuard { previous }
+}
+
+/// The armed request deadline on this thread, if any.
+fn request_deadline_state() -> Option<(Instant, Duration)> {
+    REQUEST_DEADLINE.with(Cell::get)
+}
+
+/// Whether the current thread's armed request deadline has expired.
+/// `false` when no deadline is armed.
+pub fn request_deadline_expired() -> bool {
+    request_deadline_state().is_some_and(|(start, budget)| start.elapsed() >= budget)
 }
 
 #[cfg(test)]
@@ -455,6 +533,34 @@ mod tests {
             .cloned()
             .unwrap_or_default();
         assert!(msg.contains("watchdog deadline exceeded"), "{msg}");
+    }
+
+    #[test]
+    fn request_deadline_trips_the_checkpoint_with_a_distinct_message() {
+        let guard = arm_request_deadline(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(request_deadline_expired());
+        let caught = std::panic::catch_unwind(watchdog_checkpoint);
+        drop(guard);
+        let err = caught.expect_err("expired request deadline must trip");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("request deadline exceeded"), "{msg}");
+        // Disarmed after the guard drops: the checkpoint is inert again.
+        assert!(!request_deadline_expired());
+        watchdog_checkpoint();
+    }
+
+    #[test]
+    fn request_deadline_guard_restores_the_enclosing_deadline() {
+        let outer = arm_request_deadline(Duration::from_secs(3600));
+        {
+            let _inner = arm_request_deadline(Duration::from_millis(1));
+            std::thread::sleep(Duration::from_millis(5));
+            assert!(request_deadline_expired());
+        }
+        // Back on the (far-future) outer deadline.
+        assert!(!request_deadline_expired());
+        drop(outer);
     }
 
     #[test]

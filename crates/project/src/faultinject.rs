@@ -29,7 +29,7 @@
 //! carries the same plan in `kind@index[,kind@index...]` syntax, e.g.
 //! `UCORE_FAULT_INJECT=panic@3,nan@7` — the form the CI fault-injection
 //! job and the `repro` acceptance tests use. Kinds: `panic`, `nan`,
-//! `inf`, `cache`, `kill`, `stall`.
+//! `inf`, `cache`, `kill`, `stall`, `enospc`, `eio`.
 //!
 //! # Transient faults
 //!
@@ -46,6 +46,16 @@
 //! (after fsyncing the run journal — a deterministic `kill -9` for the
 //! crash/resume suite), and `stall@i` makes point *i* hang until the
 //! per-point watchdog deadline converts it to `Failed{timeout}`.
+//!
+//! # Disk faults
+//!
+//! Two further kinds fire at the *journal* layer instead of the
+//! evaluation: `enospc@i` and `eio@i` make the journal append for
+//! submission index *i* fail with a synthesized "no space left on
+//! device" / "input/output error". The evaluation of point *i* is
+//! untouched — these exercise the documented journal degradation path
+//! (one-time warning, `journal.write_errors` increments, the run keeps
+//! producing correct results with journaling disabled).
 
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -75,6 +85,15 @@ pub enum Fault {
     /// releases it as `Failed{timeout}` (or a safety cap, when no
     /// deadline is configured).
     Stall,
+    /// Fail the *journal append* for this point with a synthesized
+    /// "no space left on device" error. The evaluation itself is
+    /// untouched — this exercises the journal's degrade-and-continue
+    /// path, not containment.
+    DiskEnospc,
+    /// Fail the *journal append* for this point with a synthesized
+    /// "input/output error". Like [`Fault::DiskEnospc`], fires at the
+    /// durability layer only.
+    DiskEio,
 }
 
 impl Fault {
@@ -86,6 +105,28 @@ impl Fault {
             Fault::CacheError => "cache",
             Fault::Kill => "kill",
             Fault::Stall => "stall",
+            Fault::DiskEnospc => "enospc",
+            Fault::DiskEio => "eio",
+        }
+    }
+
+    /// Whether this kind fires at the journal/durability layer (and is
+    /// therefore a no-op on the evaluation path).
+    pub fn is_disk_fault(self) -> bool {
+        matches!(self, Fault::DiskEnospc | Fault::DiskEio)
+    }
+
+    /// The synthesized I/O error a disk-fault kind injects into the
+    /// journal append; `None` for non-disk kinds.
+    pub fn disk_error(self) -> Option<std::io::Error> {
+        match self {
+            Fault::DiskEnospc => Some(std::io::Error::other(
+                "injected fault: no space left on device (ENOSPC)",
+            )),
+            Fault::DiskEio => Some(std::io::Error::other(
+                "injected fault: input/output error (EIO)",
+            )),
+            _ => None,
         }
     }
 }
@@ -110,7 +151,7 @@ impl fmt::Display for FaultSpecError {
         write!(
             f,
             "invalid fault spec {:?}: {} (expected kind@index[xN] with kind one of \
-             panic|nan|inf|cache|kill|stall)",
+             panic|nan|inf|cache|kill|stall|enospc|eio)",
             self.fragment, self.reason
         )
     }
@@ -214,6 +255,8 @@ impl FaultPlan {
                 "cache" => Fault::CacheError,
                 "kill" => Fault::Kill,
                 "stall" => Fault::Stall,
+                "enospc" => Fault::DiskEnospc,
+                "eio" => Fault::DiskEio,
                 _ => {
                     return Err(FaultSpecError {
                         fragment: fragment.into(),
@@ -335,6 +378,8 @@ mod tests {
             Fault::CacheError,
             Fault::Kill,
             Fault::Stall,
+            Fault::DiskEnospc,
+            Fault::DiskEio,
         ] {
             let plan = FaultPlan::parse(&format!("{f}@1")).unwrap();
             assert_eq!(plan.fault_at(1), Some(f));
@@ -363,6 +408,22 @@ mod tests {
         assert_eq!(built, parsed);
         assert_eq!(built.fault_for_attempt(3, 0), Some(Fault::Panic));
         assert_eq!(built.fault_for_attempt(3, 1), None);
+    }
+
+    #[test]
+    fn disk_fault_kinds_parse_and_classify() {
+        let plan = FaultPlan::parse("enospc@4,eio@9").unwrap();
+        assert_eq!(plan.fault_at(4), Some(Fault::DiskEnospc));
+        assert_eq!(plan.fault_at(9), Some(Fault::DiskEio));
+        for f in [Fault::DiskEnospc, Fault::DiskEio] {
+            assert!(f.is_disk_fault());
+            let err = f.disk_error().expect("disk faults carry an io error");
+            assert!(err.to_string().contains("injected fault"), "{err}");
+        }
+        for f in [Fault::Panic, Fault::Kill, Fault::Stall, Fault::CacheError] {
+            assert!(!f.is_disk_fault());
+            assert!(f.disk_error().is_none());
+        }
     }
 
     #[test]

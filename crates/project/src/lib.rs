@@ -92,8 +92,9 @@ pub mod uncertainty;
 pub use crossover::{f_crossover, node_crossover, paper_crossovers, CrossoverRecord};
 pub use designspace::{bandwidth_wall_mu, required_mu, DesignSpaceCell, DesignSpaceMap};
 pub use durability::{
-    backoff_delay, durability_totals, watchdog_checkpoint, DurabilityConfig,
-    DurabilityError, DurabilityGuard, DurabilityTotals,
+    arm_request_deadline, backoff_delay, durability_totals, request_deadline_expired,
+    watchdog_checkpoint, DurabilityConfig, DurabilityError, DurabilityGuard,
+    DurabilityTotals, RequestDeadlineGuard,
 };
 pub use engine::{DesignId, ProjectionEngine, ProjectionError, YearPoint};
 pub use journal::{

@@ -18,6 +18,7 @@
 //! | `journal.stale`     | counter   | journaled records with a stale fingerprint |
 //! | `journal.appends`   | counter   | records appended to the run journal        |
 //! | `journal.syncs`     | counter   | journal fsyncs                             |
+//! | `journal.write_errors` | counter | append failures (journaling degraded)     |
 //! | `failures.retained` | counter   | diagnostics kept in the bounded log        |
 //! | `failures.dropped`  | counter   | diagnostics dropped beyond the cap         |
 //! | `shard.workers_spawned`   | counter | shard worker processes launched (first runs + reassignments) |
@@ -63,6 +64,7 @@ pub(crate) struct ProjectMetrics {
     pub(crate) journal_stale: Arc<Counter>,
     pub(crate) journal_appends: Arc<Counter>,
     pub(crate) journal_syncs: Arc<Counter>,
+    pub(crate) journal_write_errors: Arc<Counter>,
     pub(crate) failures_retained: Arc<Counter>,
     pub(crate) failures_dropped: Arc<Counter>,
     pub(crate) shard_workers_spawned: Arc<Counter>,
@@ -95,6 +97,7 @@ pub(crate) fn metrics() -> &'static ProjectMetrics {
             journal_stale: r.counter("journal.stale"),
             journal_appends: r.counter("journal.appends"),
             journal_syncs: r.counter("journal.syncs"),
+            journal_write_errors: r.counter("journal.write_errors"),
             failures_retained: r.counter("failures.retained"),
             failures_dropped: r.counter("failures.dropped"),
             shard_workers_spawned: r.counter("shard.workers_spawned"),

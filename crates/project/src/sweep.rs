@@ -62,8 +62,8 @@ use std::any::Any;
 use std::cell::Cell;
 use std::ops::Range;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, Once, PoisonError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, Once, PoisonError};
 use std::time::{Duration, Instant};
 use ucore_calibrate::WorkloadColumn;
 use ucore_core::{Budgets, ParallelFraction};
@@ -555,7 +555,10 @@ const STALL_DETECTOR_GRACE: Duration = Duration::from_millis(250);
 /// thread samples per-worker heartbeats and warns on stderr about any
 /// point running well past its deadline. The detector is observability
 /// only: results always come from the workers, so its scheduling can
-/// never affect output bytes.
+/// never affect output bytes. It shuts down *promptly*: the sweep's
+/// finish signal is a condvar notification, so the detector's join
+/// never waits out a sampling period — a serving process can drain a
+/// sweep without leaking (or stalling on) detector threads.
 #[allow(clippy::too_many_arguments)]
 fn parallel_resolutions(
     engine: &ProjectionEngine,
@@ -568,14 +571,16 @@ fn parallel_resolutions(
     lease: Option<&Range<usize>>,
 ) -> Vec<PointResolution> {
     let next = AtomicUsize::new(0);
-    let done = AtomicBool::new(false);
+    let signal = StallSignal::new();
     let heartbeats: Vec<Mutex<Option<(usize, Instant)>>> =
         (0..threads).map(|_| Mutex::new(None)).collect();
     let scope_result = crossbeam::scope(|scope| {
         let detector = dur.and_then(|d| d.timeout()).map(|budget| {
-            let done = &done;
+            let signal = &signal;
             let heartbeats = &heartbeats;
-            scope.spawn(move |_| stall_detector(budget, done, heartbeats))
+            scope.spawn(move |_| {
+                stall_detector(budget, STALL_DETECTOR_PERIOD, signal, heartbeats)
+            })
         });
         let handles: Vec<_> = (0..threads)
             .map(|w| {
@@ -612,7 +617,7 @@ fn parallel_resolutions(
                 Err(payload) => worker_panics.push(panic_message(payload.as_ref())),
             }
         }
-        done.store(true, Ordering::Relaxed);
+        signal.finish();
         if let Some(detector) = detector {
             let _ = detector.join();
         }
@@ -649,16 +654,56 @@ fn parallel_resolutions(
         .collect()
 }
 
-/// The stall-detector loop: samples worker heartbeats until the sweep
-/// finishes, warning once per point that overstays its deadline.
+/// The sweep-finished signal the stall detector parks on. A condvar —
+/// not a polled flag — so `finish()` wakes the detector mid-period and
+/// its join is immediate rather than bounded by the sampling period
+/// (the PR 3 detector slept out its period before noticing `done`,
+/// which a draining server cannot afford).
+struct StallSignal {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl StallSignal {
+    fn new() -> Self {
+        StallSignal { done: Mutex::new(false), cv: Condvar::new() }
+    }
+
+    /// Marks the sweep finished and wakes the detector immediately.
+    fn finish(&self) {
+        *self.done.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        self.cv.notify_all();
+    }
+
+    /// Parks for up to `period` (or until [`StallSignal::finish`]);
+    /// returns whether the sweep has finished.
+    fn wait_finished(&self, period: Duration) -> bool {
+        let guard = self.done.lock().unwrap_or_else(PoisonError::into_inner);
+        if *guard {
+            return true;
+        }
+        let (guard, _timed_out) = self
+            .cv
+            .wait_timeout(guard, period)
+            .unwrap_or_else(PoisonError::into_inner);
+        *guard
+    }
+}
+
+/// The stall-detector loop: samples worker heartbeats every `period`
+/// until the sweep finishes, warning once per point that overstays its
+/// deadline. Returns as soon as `signal` reports the sweep done.
 fn stall_detector(
     budget: Duration,
-    done: &AtomicBool,
+    period: Duration,
+    signal: &StallSignal,
     heartbeats: &[Mutex<Option<(usize, Instant)>>],
 ) {
     let mut warned: Vec<usize> = Vec::new();
-    while !done.load(Ordering::Relaxed) {
-        std::thread::sleep(STALL_DETECTOR_PERIOD);
+    loop {
+        if signal.wait_finished(period) {
+            return;
+        }
         for (worker, heartbeat) in heartbeats.iter().enumerate() {
             let sample = *heartbeat.lock().unwrap_or_else(PoisonError::into_inner);
             if let Some((index, started)) = sample {
@@ -716,6 +761,9 @@ fn evaluate_contained(
         // evaluation; reaching it here would mean a caller bypassed the
         // durability pipeline, so honor the crash semantics anyway.
         Some(Fault::Kill) => std::process::abort(),
+        // Disk faults fire at the journal append, not the evaluation:
+        // the point itself computes normally.
+        Some(Fault::DiskEnospc | Fault::DiskEio) => {}
         Some(Fault::Panic) | None => {}
     }
     if let Some(budget) = timeout {
@@ -976,6 +1024,43 @@ mod tests {
         let feasible: Vec<_> =
             results.iter().filter_map(|r| r.outcome.node_point()).collect();
         assert_eq!(feasible, sequential);
+    }
+
+    #[test]
+    fn stall_detector_joins_promptly_on_the_finish_signal() {
+        // Regression: the PR 3 detector slept out its full sampling
+        // period before checking `done`, so with a long period a join
+        // would hang. The condvar signal must wake it immediately.
+        let signal = StallSignal::new();
+        let heartbeats: Vec<Mutex<Option<(usize, Instant)>>> = vec![Mutex::new(None)];
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            let detector = scope.spawn(|| {
+                stall_detector(
+                    Duration::from_millis(50),
+                    Duration::from_secs(3600), // one wait would outlive the test
+                    &signal,
+                    &heartbeats,
+                )
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            signal.finish();
+            detector.join().unwrap();
+        });
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "detector must join on the signal, not the period ({:?})",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn stall_signal_already_finished_returns_without_parking() {
+        let signal = StallSignal::new();
+        signal.finish();
+        let started = Instant::now();
+        assert!(signal.wait_finished(Duration::from_secs(3600)));
+        assert!(started.elapsed() < Duration::from_secs(30));
     }
 
     #[test]

@@ -517,3 +517,69 @@ mod journal_roundtrip {
         }
     }
 }
+
+/// ISSUE 8 satellite: `enospc@i` / `eio@i` disk faults fire at the
+/// *journal append*, not the evaluation. The documented degradation
+/// path must hold: the run continues, every result is bit-identical to
+/// a clean run, `journal.write_errors` increments, and appends stop at
+/// the failed index (journaling disabled for the rest of the run).
+#[test]
+fn disk_fault_degrades_journaling_but_not_results() {
+    let _guard = serialized();
+    let e = engine();
+    let points = grid(&e);
+    let (clean, _) = sweep(&e, points.clone(), &SweepConfig::sequential());
+
+    for (kind, tag) in [(Fault::DiskEnospc, "enospc"), (Fault::DiskEio, "eio")] {
+        let path = temp_journal(&format!("disk-{tag}"));
+        let before = ucore_obs::registry().snapshot().counter("journal.write_errors");
+        let (dguard, _) = durability::activate(DurabilityConfig {
+            journal: Some(path.clone()),
+            ..Default::default()
+        })
+        .unwrap();
+        let fguard = faultinject::activate(FaultPlan::new().with(2, kind));
+        let (faulted, stats) = sweep(&e, points.clone(), &SweepConfig::sequential());
+        drop(fguard);
+        drop(dguard);
+        assert_eq!(stats.points_failed, 0, "{tag}: disk faults never fail points");
+        for (a, b) in clean.iter().zip(&faulted) {
+            assert_eq!(a.outcome, b.outcome, "{tag}: index {}", a.index);
+        }
+        let after = ucore_obs::registry().snapshot().counter("journal.write_errors");
+        assert_eq!(after - before, 1, "{tag}: exactly one write error counted");
+        // Points 0 and 1 reached the journal; the failed append at
+        // index 2 disabled journaling for the rest of the run.
+        let (records, _) = ucore_project::read_records(&path).unwrap();
+        assert_eq!(records.len(), 2, "{tag}: appends stop at the failed index");
+        assert!(
+            records.iter().all(|r| r.index < 2),
+            "{tag}: only pre-fault indices journaled"
+        );
+        let _ = fs::remove_file(&path);
+    }
+}
+
+/// A disk-degraded journal still resumes: the surviving prefix replays
+/// and only the missing tail re-evaluates, byte-identically.
+#[test]
+fn disk_degraded_journal_remains_resumable() {
+    let _guard = serialized();
+    let path = temp_journal("disk-resume");
+    {
+        let (dguard, _) = durability::activate(DurabilityConfig {
+            journal: Some(path.clone()),
+            ..Default::default()
+        })
+        .unwrap();
+        let _fguard =
+            faultinject::activate(FaultPlan::new().with(5, Fault::DiskEnospc));
+        let _ = figures::figure6().unwrap();
+        drop(dguard);
+    }
+    let (resumed_json, hits, _) = resumed_figure6(&path);
+    let clean = serde_json::to_string_pretty(&figures::figure6().unwrap()).unwrap();
+    assert_eq!(resumed_json, clean, "resume after disk degradation is inert");
+    assert_eq!(hits, 5, "exactly the pre-fault prefix replays");
+    let _ = fs::remove_file(&path);
+}

@@ -1,0 +1,432 @@
+//! End-to-end tests of the serving robustness envelope: differential
+//! byte-identity with the `repro` render path, deterministic overload
+//! shedding, graceful drain, per-request deadlines, fault surfacing,
+//! degraded journaling, and kill-9 crash recovery via `--resume`.
+//!
+//! Everything here shares process-global state (the metrics registry,
+//! the durability slot, the fault-injection slot), so every test runs
+//! under one mutex.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+use ucore_bench::Target;
+use ucore_project::durability::{self, DurabilityConfig};
+use ucore_project::faultinject::{Fault, FaultPlan};
+use ucore_serve::{Server, ServerConfig};
+
+/// Serializes tests around the process-global durability, fault, and
+/// metrics state.
+fn serialized() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A stopped server's pieces: address plus a closure that drains it.
+struct Running {
+    addr: std::net::SocketAddr,
+    shutdown: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    handle: std::thread::JoinHandle<std::io::Result<ucore_serve::DrainReport>>,
+}
+
+impl Running {
+    fn stop(self) -> ucore_serve::DrainReport {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.handle
+            .join()
+            .expect("server thread")
+            .expect("server run")
+    }
+}
+
+fn boot(configure: impl FnOnce(&mut ServerConfig)) -> Running {
+    let mut config = ServerConfig::new("127.0.0.1:0");
+    config.workers = 2;
+    config.queue_depth = 4;
+    config.io_timeout = Duration::from_millis(800);
+    config.drain = Duration::from_secs(10);
+    configure(&mut config);
+    let server = Server::bind(config).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let shutdown = server.shutdown_handle();
+    let handle = std::thread::spawn(move || server.run());
+    Running { addr, shutdown, handle }
+}
+
+/// One full request/response exchange; returns (status, body).
+fn get(addr: std::net::SocketAddr, target: &str) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    stream
+        .write_all(format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .expect("send");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    split_response(&raw)
+}
+
+fn split_response(raw: &[u8]) -> (u16, Vec<u8>) {
+    let sep = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header separator in {:?}", String::from_utf8_lossy(raw)));
+    let head = std::str::from_utf8(&raw[..sep]).expect("head is UTF-8");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status in {head:?}"));
+    (status, raw[sep + 4..].to_vec())
+}
+
+fn error_code(body: &[u8]) -> String {
+    let value: serde_json::Value = serde_json::from_slice(body)
+        .unwrap_or_else(|e| panic!("body not JSON ({e}): {:?}", String::from_utf8_lossy(body)));
+    value
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(serde_json::Value::as_str)
+        .expect("error.code")
+        .to_string()
+}
+
+fn counter(name: &str) -> u64 {
+    ucore_obs::registry().snapshot().counter(name)
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir();
+    dir.join(format!("ucore-serve-e2e-{tag}-{}.jsonl", std::process::id()))
+}
+
+#[test]
+fn served_bodies_are_byte_identical_to_the_render_path() {
+    let _gate = serialized();
+    let server = boot(|_| {});
+
+    for (path, target) in [
+        ("/json/figure-6", Target::Json("figure-6".into())),
+        ("/csv/figure-6", Target::Csv("figure-6".into())),
+        ("/table/5", Target::Table("5".into())),
+        ("/scenario/1", Target::Scenario("1".into())),
+    ] {
+        let (status, body) = get(server.addr, path);
+        assert_eq!(status, 200, "{path}");
+        let direct = ucore_bench::render::render(&target).expect("direct render");
+        assert_eq!(
+            body,
+            direct.body.into_bytes(),
+            "served {path} diverged from the render path"
+        );
+    }
+
+    let report = server.stop();
+    assert!(report.drained);
+}
+
+#[test]
+fn overload_sheds_immediately_with_structured_503() {
+    let _gate = serialized();
+    let server = boot(|c| {
+        c.workers = 2;
+        c.queue_depth = 2;
+        c.io_timeout = Duration::from_millis(1200);
+    });
+    let shed_before = counter("serve.shed");
+
+    // Saturate: 2 slow-loris connections occupy both workers, 2 more
+    // fill the queue. Gaps let the workers dequeue deterministically.
+    let mut loris = Vec::new();
+    for _ in 0..4 {
+        let mut stream = TcpStream::connect(server.addr).expect("loris connect");
+        stream.write_all(b"GET /healthz HT").expect("loris partial");
+        loris.push(stream);
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Hammer past the admission limit: 8 probes (4x the concurrency
+    // limit) must every one get an immediate structured shed.
+    for i in 0..8 {
+        let (status, body) = get(server.addr, "/healthz");
+        assert_eq!(status, 503, "probe {i}");
+        assert_eq!(error_code(&body), "server.overloaded", "probe {i}");
+    }
+    let shed_after = counter("serve.shed");
+    assert!(
+        shed_after - shed_before >= 8,
+        "expected >= 8 shed connections, got {}",
+        shed_after - shed_before
+    );
+
+    // Availability recovers once the loris connections time out.
+    drop(loris);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, _) = get(server.addr, "/healthz");
+        if status == 200 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "service never recovered from overload");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let report = server.stop();
+    assert!(report.drained);
+}
+
+#[test]
+fn graceful_drain_finishes_inflight_and_refuses_late_arrivals() {
+    let _gate = serialized();
+    let server = boot(|c| {
+        c.io_timeout = Duration::from_millis(700);
+        c.drain = Duration::from_secs(10);
+    });
+
+    // Occupy a worker with an in-flight (slow) request.
+    let mut inflight = TcpStream::connect(server.addr).expect("connect inflight");
+    inflight
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    inflight.write_all(b"GET /healthz HT").expect("partial write");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Begin the drain.
+    server.shutdown.store(true, Ordering::SeqCst);
+    std::thread::sleep(Duration::from_millis(50));
+
+    // A late arrival gets an explicit draining refusal, not a reset.
+    let (status, body) = get(server.addr, "/healthz");
+    assert_eq!(status, 503);
+    assert_eq!(error_code(&body), "server.draining");
+
+    // The in-flight request still completes (here: its io timeout
+    // answers 408) — drain waits for it instead of dropping it.
+    let mut resp = String::new();
+    let _ = inflight.read_to_string(&mut resp);
+    assert!(resp.contains("408"), "in-flight request was dropped: {resp:?}");
+
+    let report = server.handle.join().expect("thread").expect("run");
+    assert!(report.drained, "drain deadline expired");
+}
+
+#[test]
+fn request_deadline_returns_504_with_the_taxonomy_code() {
+    let _gate = serialized();
+    // Sequential sweeps keep the cooperative deadline on the worker
+    // thread that armed it (the served binary does the same).
+    std::env::set_var("UCORE_SWEEP_THREADS", "1");
+    let server = boot(|c| {
+        c.request_timeout = Some(Duration::from_millis(1));
+    });
+    // figure-10 is evaluated fresh here (no other test touches it), so
+    // the render must run real sweep points and trip the checkpoint.
+    let (status, body) = get(server.addr, "/json/figure-10");
+    assert_eq!(status, 504, "{:?}", String::from_utf8_lossy(&body));
+    assert_eq!(error_code(&body), "request.deadline");
+
+    // The worker survives the timed-out request.
+    let (status, _) = get(server.addr, "/healthz");
+    assert_eq!(status, 200);
+    let report = server.stop();
+    assert!(report.drained);
+    std::env::remove_var("UCORE_SWEEP_THREADS");
+}
+
+#[test]
+fn injected_fault_degrades_one_response_and_recovery_is_byte_identical() {
+    let _gate = serialized();
+    let server = boot(|_| {});
+
+    let guard = ucore_project::faultinject::activate(
+        FaultPlan::new().with(3, Fault::Panic),
+    );
+    let (status, body) = get(server.addr, "/json/figure-7");
+    assert_eq!(status, 500, "{:?}", String::from_utf8_lossy(&body));
+    assert_eq!(error_code(&body), "request.failed");
+    drop(guard);
+
+    // With the fault cleared the same process serves the full artifact,
+    // byte-identical to a clean render.
+    let (status, body) = get(server.addr, "/json/figure-7");
+    assert_eq!(status, 200);
+    let direct = ucore_bench::render::render(&Target::Json("figure-7".into()))
+        .expect("clean render");
+    assert_eq!(body, direct.body.into_bytes());
+    let report = server.stop();
+    assert!(report.drained);
+}
+
+#[test]
+fn disk_fault_degrades_journaling_but_serving_continues() {
+    let _gate = serialized();
+    let journal = temp_path("enospc");
+    let _ = std::fs::remove_file(&journal);
+    let (dur_guard, _) = durability::activate(DurabilityConfig {
+        journal: Some(journal.clone()),
+        ..DurabilityConfig::default()
+    })
+    .expect("activate journaled durability");
+    let fault_guard = ucore_project::faultinject::activate(
+        FaultPlan::new().with(2, Fault::DiskEnospc),
+    );
+    let errors_before = counter("journal.write_errors");
+
+    let server = boot(|_| {});
+    let (status, body) = get(server.addr, "/json/figure-6");
+    assert_eq!(status, 200, "{:?}", String::from_utf8_lossy(&body));
+    let direct = ucore_bench::render::render(&Target::Json("figure-6".into()))
+        .expect("direct render");
+    assert_eq!(body, direct.body.into_bytes(), "degraded journaling changed the data");
+    assert!(
+        counter("journal.write_errors") > errors_before,
+        "disk fault did not surface in journal.write_errors"
+    );
+
+    // The process keeps serving after the degradation.
+    let (status, _) = get(server.addr, "/table/2");
+    assert_eq!(status, 200);
+
+    let report = server.stop();
+    assert!(report.drained);
+    drop(fault_guard);
+    drop(dur_guard);
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn metrics_endpoint_exposes_the_serve_contract() {
+    let _gate = serialized();
+    let server = boot(|_| {});
+    let (status, _) = get(server.addr, "/healthz");
+    assert_eq!(status, 200);
+    let (status, body) = get(server.addr, "/metrics");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).expect("exposition is UTF-8");
+    for name in [
+        "ucore_serve_accepted",
+        "ucore_serve_requests",
+        "ucore_serve_responses_ok",
+        "ucore_serve_responses_error",
+        "ucore_serve_shed",
+        "ucore_serve_timeouts",
+        "ucore_serve_panics",
+        "ucore_serve_ingress_rejected",
+        "ucore_serve_bytes_out",
+        "ucore_serve_queue_depth",
+        "ucore_serve_inflight",
+        "ucore_serve_request_us",
+    ] {
+        assert!(text.contains(name), "missing {name} in exposition:\n{text}");
+    }
+    let report = server.stop();
+    assert!(report.drained);
+}
+
+#[test]
+fn kill_nine_mid_request_leaves_a_resumable_journal() {
+    let _gate = serialized();
+    let journal = temp_path("kill9");
+    let _ = std::fs::remove_file(&journal);
+
+    // Boot the real daemon with a stall fault late in the figure-6
+    // sweep, so the journal fills with completed points and then the
+    // request hangs mid-flight.
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_served"))
+        .args([
+            "--serve",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--request-timeout-ms",
+            "0",
+            "--journal",
+        ])
+        .arg(&journal)
+        .env("UCORE_FAULT_INJECT", "stall@100")
+        .stderr(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn served");
+    let stderr = child.stderr.take().expect("child stderr");
+    let mut lines = BufReader::new(stderr).lines();
+    let addr: std::net::SocketAddr = loop {
+        let line = lines
+            .next()
+            .expect("served exited before announcing its address")
+            .expect("read served stderr");
+        if let Some(rest) = line.strip_prefix("served: listening on ") {
+            break rest.parse().expect("parse announced address");
+        }
+    };
+
+    // Fire the request that will stall at point 100; don't wait for a
+    // response.
+    let mut stream = TcpStream::connect(addr).expect("connect to served");
+    stream
+        .write_all(b"GET /json/figure-6 HTTP/1.1\r\n\r\n")
+        .expect("send request");
+
+    // Wait for the journal to fill with the pre-stall points, then
+    // stabilize (the stall blocks further appends).
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut last_len = 0u64;
+    let mut stable_since = Instant::now();
+    loop {
+        let len = std::fs::metadata(&journal).map(|m| m.len()).unwrap_or(0);
+        if len != last_len {
+            last_len = len;
+            stable_since = Instant::now();
+        }
+        if last_len > 0 && stable_since.elapsed() > Duration::from_millis(500) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "journal never grew; served is not appending"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // The crash: SIGKILL, no drain, no final fsync from our side.
+    child.kill().expect("kill -9 served");
+    let _ = child.wait();
+    drop(stream);
+
+    // Resume from the orphaned journal in-process and render the same
+    // target: byte-identical to a clean run, with journal hits proving
+    // the replay actually supplied points.
+    let baseline = ucore_bench::render::render(&Target::Json("figure-6".into()))
+        .expect("baseline render")
+        .body;
+    let hits_before = counter("journal.hits");
+    let (dur_guard, replay) = durability::activate(DurabilityConfig {
+        journal: Some(journal.clone()),
+        resume: true,
+        ..DurabilityConfig::default()
+    })
+    .expect("resume from the killed daemon's journal");
+    assert!(
+        replay.records > 0,
+        "the killed daemon left no replayable records"
+    );
+    let resumed = ucore_bench::render::render(&Target::Json("figure-6".into()))
+        .expect("resumed render")
+        .body;
+    drop(dur_guard);
+    assert_eq!(resumed, baseline, "resumed render diverged from the clean run");
+    assert!(
+        counter("journal.hits") > hits_before,
+        "resume did not answer any points from the journal"
+    );
+    let _ = std::fs::remove_file(&journal);
+}
