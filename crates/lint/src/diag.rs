@@ -76,7 +76,7 @@ pub fn render_json(findings: &[Diagnostic]) -> String {
 }
 
 /// Escapes `s` as a JSON string literal (RFC 8259).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

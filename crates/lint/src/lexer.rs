@@ -133,6 +133,21 @@ fn is_ident_continue(c: char) -> bool {
 pub fn lex(src: &str) -> Vec<Token<'_>> {
     let mut cur = Cursor::new(src);
     let mut out = Vec::new();
+    // A leading shebang line (`#!/usr/bin/env …`) holds arbitrary shell
+    // text; a stray `"` or `'` in it must not open a literal that
+    // desyncs the whole file. `#![…]` inner attributes are not shebangs.
+    if src.starts_with("#!") && !src.starts_with("#![") {
+        let (line, col) = (cur.line, cur.col);
+        while cur.peek(0).is_some_and(|c| c != '\n') {
+            cur.bump();
+        }
+        out.push(Token {
+            kind: TokenKind::LineComment,
+            text: &src[..cur.byte_offset()],
+            line,
+            col,
+        });
+    }
     while let Some(c) = cur.peek(0) {
         if c.is_whitespace() {
             cur.bump();
@@ -538,6 +553,22 @@ mod tests {
         assert_eq!(kinds(r#"b"bytes""#)[0].0, TokenKind::Str);
         assert_eq!(kinds(r#"c"cstr""#)[0].0, TokenKind::Str);
         assert_eq!(kinds(r"b'x'")[0].0, TokenKind::Char);
+    }
+
+    #[test]
+    fn shebang_line_does_not_desync() {
+        // The `"` inside the shebang must not open a string literal.
+        let toks = kinds("#!/bin/sh -c \"x\"\nlet a = 1 == 2;");
+        assert_eq!(toks[0].0, TokenKind::LineComment);
+        assert_eq!(toks[0].1, "#!/bin/sh -c \"x\"");
+        assert!(toks.contains(&(TokenKind::Punct, "==")));
+    }
+
+    #[test]
+    fn inner_attribute_is_not_a_shebang() {
+        let toks = kinds("#![forbid(unsafe_code)]\nfn f() {}");
+        assert_eq!(toks[0], (TokenKind::Punct, "#"));
+        assert!(toks.contains(&(TokenKind::Ident, "forbid")));
     }
 
     #[test]

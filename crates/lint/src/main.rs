@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run -p ucore-lint             # human report, exit 1 on findings
 //! cargo run -p ucore-lint -- --json   # machine-readable report
-//! cargo run -p ucore-lint -- --rules float-eq,determinism
+//! cargo run -p ucore-lint -- --sarif  # SARIF 2.1.0 (CI artifact format)
+//! cargo run -p ucore-lint -- --rules float-eq,contract-drift
 //! cargo run -p ucore-lint -- --list-rules
 //! cargo run -p ucore-lint -- --root /path/to/workspace
 //! ```
@@ -15,25 +16,28 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ucore_lint::rules::{self, Rule};
-use ucore_lint::{diag, walk};
+use ucore_lint::rules::{self, Rule, WorkspaceRule};
+use ucore_lint::{diag, sarif, walk};
 
 struct Options {
     json: bool,
+    sarif: bool,
     root: Option<PathBuf>,
     rules: Option<Vec<String>>,
     list_rules: bool,
 }
 
-const USAGE: &str = "usage: ucore-lint [--json] [--root DIR] [--rules NAME[,NAME…]] [--list-rules]";
+const USAGE: &str =
+    "usage: ucore-lint [--json | --sarif] [--root DIR] [--rules NAME[,NAME…]] [--list-rules]";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts =
-        Options { json: false, root: None, rules: None, list_rules: false };
+        Options { json: false, sarif: false, root: None, rules: None, list_rules: false };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => opts.json = true,
+            "--sarif" => opts.sarif = true,
             "--list-rules" => opts.list_rules = true,
             "--root" => {
                 let v = it.next().ok_or("--root requires a directory argument")?;
@@ -47,6 +51,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
+    }
+    if opts.json && opts.sarif {
+        return Err("--json and --sarif are mutually exclusive".to_string());
     }
     Ok(opts)
 }
@@ -65,28 +72,43 @@ fn main() -> ExitCode {
         }
     };
 
-    let all = rules::all();
+    let file_all = rules::all();
+    let ws_all = rules::workspace_all();
     if opts.list_rules {
-        for rule in &all {
-            println!("{:<14} {}", rule.name(), rule.description());
+        for rule in &file_all {
+            println!("{:<20} {}", rule.name(), rule.description());
+        }
+        for rule in &ws_all {
+            println!("{:<20} {}", rule.name(), rule.description());
         }
         return ExitCode::SUCCESS;
     }
 
-    let selected: Vec<Box<dyn Rule>> = match &opts.rules {
-        None => all,
-        Some(names) => {
-            let known = rules::known_names();
-            if let Some(bad) = names.iter().find(|n| !known.contains(&n.as_str())) {
-                eprintln!(
-                    "ucore-lint: unknown rule `{bad}` (known: {})",
-                    known.join(", ")
-                );
-                return ExitCode::from(2);
+    type RuleSets = (Vec<Box<dyn Rule>>, Vec<Box<dyn WorkspaceRule>>);
+    let (file_rules, ws_rules): RuleSets =
+        match &opts.rules {
+            None => (file_all, ws_all),
+            Some(names) => {
+                let known = rules::known_names();
+                if let Some(bad) = names.iter().find(|n| !known.contains(&n.as_str())) {
+                    eprintln!(
+                        "ucore-lint: unknown rule `{bad}` (known: {})",
+                        known.join(", ")
+                    );
+                    return ExitCode::from(2);
+                }
+                (
+                    file_all
+                        .into_iter()
+                        .filter(|r| names.iter().any(|n| n == r.name()))
+                        .collect(),
+                    ws_all
+                        .into_iter()
+                        .filter(|r| names.iter().any(|n| n == r.name()))
+                        .collect(),
+                )
             }
-            all.into_iter().filter(|r| names.iter().any(|n| n == r.name())).collect()
-        }
-    };
+        };
     // Only a full-rule run can tell a stale allow from a disabled rule.
     let check_unused = opts.rules.is_none();
 
@@ -104,15 +126,21 @@ fn main() -> ExitCode {
         }
     };
 
-    let findings = match ucore_lint::lint_workspace(&root, &selected, check_unused) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("ucore-lint: failed to read workspace under {}: {e}", root.display());
-            return ExitCode::from(2);
-        }
-    };
+    let findings =
+        match ucore_lint::lint_workspace(&root, &file_rules, &ws_rules, check_unused) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!(
+                    "ucore-lint: failed to read workspace under {}: {e}",
+                    root.display()
+                );
+                return ExitCode::from(2);
+            }
+        };
 
-    if opts.json {
+    if opts.sarif {
+        print!("{}", sarif::render_sarif(&findings, &rules::all_rule_metadata()));
+    } else if opts.json {
         print!("{}", diag::render_json(&findings));
     } else {
         print!("{}", diag::render_human(&findings));

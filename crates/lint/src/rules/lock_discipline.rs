@@ -1,0 +1,462 @@
+//! `lock-discipline`: no blocking call while a lock guard is live.
+//!
+//! The cache, durability journal, and serve dispatcher all hold
+//! `parking_lot`/`std::sync` guards; a blocking call — `fsync`, a
+//! `sync_channel` send/recv, `Command::spawn`, socket reads/writes —
+//! made while a guard is live stalls every other contender of that lock
+//! for the duration of the syscall. The rule finds `let` bindings whose
+//! initializer produces a guard (a no-argument `.lock()` / `.read()` /
+//! `.write()`), computes the guard's live range (to the end of the
+//! enclosing block, truncated by `drop(guard)`), and flags any call in
+//! that range that blocks either directly (by name) or transitively
+//! (resolving through the symbol graph to a function that does).
+//!
+//! Limits (DESIGN.md §18): name-based method resolution means the
+//! transitive check is an over-approximation; deref-copy bindings
+//! (`let v = *m.lock()…`) and chains that consume the guard inside the
+//! initializer (`.lock().map(…)`) are recognized as non-guards; guards
+//! moved into other scopes are not tracked.
+
+use super::WorkspaceRule;
+use crate::context::FileContext;
+use crate::diag::Diagnostic;
+use crate::graph::{CallKind, CallSite, Resolution};
+use crate::lexer::TokenKind;
+use crate::WorkspaceContext;
+
+/// The `lock-discipline` rule.
+pub struct LockDiscipline;
+
+/// Calls that block by name, regardless of resolution.
+const BLOCKING_NAMES: [&str; 13] = [
+    "fsync",
+    "sync_all",
+    "sync_data",
+    "send",
+    "recv",
+    "recv_timeout",
+    "spawn",
+    "accept",
+    "connect",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "write_all",
+];
+
+/// Guard-producing method names (no-argument form).
+const GUARD_METHODS: [&str; 3] = ["lock", "read", "write"];
+
+/// Idents whose presence marks a file as using locks at all.
+const LOCK_MARKERS: [&str; 3] = ["Mutex", "RwLock", "parking_lot"];
+
+impl WorkspaceRule for LockDiscipline {
+    fn name(&self) -> &'static str {
+        "lock-discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "no blocking call (fsync/channel/spawn/socket I/O) while a lock guard is live"
+    }
+
+    fn check(&self, ws: &WorkspaceContext<'_>, out: &mut Vec<Diagnostic>) {
+        let blocking = blocking_fns(ws);
+        for (file_idx, ctx) in ws.files.iter().enumerate() {
+            let uses_locks = ctx.tokens.iter().any(|t| {
+                t.kind == TokenKind::Ident && LOCK_MARKERS.contains(&t.text)
+            });
+            if !uses_locks {
+                continue;
+            }
+            for guard in guard_bindings(ctx) {
+                flag_blocking_in_range(ws, &blocking, file_idx, &guard, self.name(), out);
+            }
+        }
+    }
+}
+
+/// One guard binding and its live token range.
+struct GuardBinding {
+    name: String,
+    line: u32,
+    /// First token inside the live range.
+    start: usize,
+    /// One past the last token of the live range.
+    end: usize,
+}
+
+/// Fixpoint: which fns block, directly or through workspace calls.
+fn blocking_fns(ws: &WorkspaceContext<'_>) -> Vec<bool> {
+    let n = ws.graph.fns.len();
+    let mut blocking = vec![false; n];
+    for (id, f) in ws.graph.fns.iter().enumerate() {
+        if f.calls.iter().any(is_directly_blocking) {
+            blocking[id] = true;
+        }
+    }
+    loop {
+        let mut changed = false;
+        for (id, f) in ws.graph.fns.iter().enumerate() {
+            if blocking[id] {
+                continue;
+            }
+            let reaches = f.calls.iter().any(|c| match &c.resolved {
+                Resolution::Internal(ids) => ids.iter().any(|&t| blocking[t]),
+                Resolution::External(_) => false,
+            });
+            if reaches {
+                blocking[id] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return blocking;
+        }
+    }
+}
+
+/// True for calls that block by name: the fixed list, plus `read`/
+/// `write` *with* arguments (the no-arg forms are guard producers).
+fn is_directly_blocking(call: &CallSite) -> bool {
+    if matches!(call.kind, CallKind::Macro(_)) {
+        return false;
+    }
+    let name = call.callee_name();
+    BLOCKING_NAMES.contains(&name)
+        || (call.has_args && matches!(name, "read" | "write"))
+}
+
+/// Finds `let`-bound guards: a binding whose initializer contains a
+/// no-argument `.lock()`/`.read()`/`.write()` and is not a deref copy.
+fn guard_bindings(ctx: &FileContext<'_>) -> Vec<GuardBinding> {
+    let mut out = Vec::new();
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || tok.text != "let" || ctx.in_test[i] {
+            continue;
+        }
+        let Some(binding) = parse_let_guard(ctx, i) else { continue };
+        out.push(binding);
+    }
+    out
+}
+
+/// Parses one `let … = …` starting at the `let` token `i`; returns the
+/// binding when its initializer produces a guard.
+fn parse_let_guard(ctx: &FileContext<'_>, i: usize) -> Option<GuardBinding> {
+    // Locate the `=` introducing the initializer (`==` is one token, so
+    // a bare `=` is unambiguous); give up at statement boundaries.
+    let mut eq = None;
+    let mut at = i;
+    while let Some(n) = ctx.next_code(at) {
+        let t = &ctx.tokens[n];
+        if t.kind == TokenKind::Punct {
+            match t.text {
+                "=" => {
+                    eq = Some(n);
+                    break;
+                }
+                ";" | "{" | "}" => return None,
+                _ => {}
+            }
+        }
+        at = n;
+    }
+    let eq = eq?;
+    // Binding name: last pattern ident before `=`, stopping at a type
+    // annotation `:` (`::` is a distinct token), skipping `mut`/`ref`.
+    let mut name = None;
+    let mut at = i;
+    while let Some(n) = ctx.next_code(at) {
+        if n >= eq {
+            break;
+        }
+        let t = &ctx.tokens[n];
+        if t.kind == TokenKind::Punct && t.text == ":" {
+            break;
+        }
+        if t.kind == TokenKind::Ident && !matches!(t.text, "mut" | "ref") {
+            name = Some(t.text.to_string());
+        }
+        at = n;
+    }
+    let name = name?;
+    // A deref initializer copies out of the guard; the temporary dies
+    // at the end of the statement.
+    let first = ctx.next_code(eq)?;
+    if ctx.is_punct(first, "*") {
+        return None;
+    }
+    // Scan the initializer for `.lock()` / `.read()` / `.write()` and
+    // find the statement terminator: `;` (plain let) or `{` (if/while
+    // let body) at relative bracket depth 0.
+    let mut has_guard_call = false;
+    let mut depth = 0i64;
+    let mut term = None;
+    let mut at = eq;
+    while let Some(n) = ctx.next_code(at) {
+        let t = &ctx.tokens[n];
+        if t.kind == TokenKind::Punct {
+            match t.text {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ";" if depth <= 0 => {
+                    term = Some((n, false));
+                    break;
+                }
+                "{" if depth <= 0 => {
+                    term = Some((n, true));
+                    break;
+                }
+                _ => {}
+            }
+        } else if t.kind == TokenKind::Ident
+            && GUARD_METHODS.contains(&t.text)
+            && ctx.prev_code(n).is_some_and(|p| ctx.is_punct(p, "."))
+        {
+            // No-argument form only: `(` directly followed by `)`, and
+            // the rest of the chain must not consume the guard.
+            if let Some(open) = ctx.next_code(n) {
+                if ctx.is_punct(open, "(") {
+                    if let Some(close) = ctx.next_code(open) {
+                        if ctx.is_punct(close, ")") {
+                            has_guard_call |= chain_keeps_guard(ctx, close);
+                        }
+                    }
+                }
+            }
+        }
+        at = n;
+    }
+    if !has_guard_call {
+        return None;
+    }
+    let (term_idx, is_block) = term?;
+    // Live range: from the terminator to the close of the enclosing
+    // block (`;` form) or of the introduced block (`{` form), truncated
+    // by an explicit `drop(name)`.
+    let mut depth: i64 = i64::from(is_block);
+    let floor: i64 = i64::from(is_block) - 1; // end when depth hits this
+    let mut end = ctx.tokens.len();
+    let mut at = term_idx;
+    while let Some(n) = ctx.next_code(at) {
+        let t = &ctx.tokens[n];
+        if t.kind == TokenKind::Punct {
+            match t.text {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth <= floor {
+                        end = n;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        } else if t.kind == TokenKind::Ident && t.text == "drop" {
+            // `drop(name)` ends the guard's life early.
+            let arg_is_guard = ctx.next_code(n).is_some_and(|open| {
+                ctx.is_punct(open, "(")
+                    && ctx.next_code(open).is_some_and(|a| {
+                        ctx.is_ident(a, &name)
+                            && ctx.next_code(a).is_some_and(|c| ctx.is_punct(c, ")"))
+                    })
+            });
+            if arg_is_guard {
+                end = n;
+                break;
+            }
+        }
+        at = n;
+    }
+    Some(GuardBinding {
+        name,
+        line: ctx.tokens[i].line,
+        start: term_idx + 1,
+        end,
+    })
+}
+
+/// True when the method chain after a guard call's closing paren
+/// (token `close`) still yields the guard at the end of the
+/// initializer. Poison recovery (`.unwrap()`, `.expect(…)`,
+/// `.unwrap_or_else(…)`) and `?` pass the guard through; any other
+/// chained method (`.map(…)`, `.ok()`, …) consumes it inside the
+/// initializer, so the binding is not a guard.
+fn chain_keeps_guard(ctx: &FileContext<'_>, mut close: usize) -> bool {
+    const POISON_METHODS: [&str; 3] = ["unwrap", "expect", "unwrap_or_else"];
+    loop {
+        let Some(n) = ctx.next_code(close) else { return true };
+        if ctx.is_punct(n, "?") {
+            close = n;
+            continue;
+        }
+        if !ctx.is_punct(n, ".") {
+            return true;
+        }
+        let Some(m) = ctx.next_code(n) else { return true };
+        let t = &ctx.tokens[m];
+        if t.kind != TokenKind::Ident || !POISON_METHODS.contains(&t.text) {
+            return false;
+        }
+        let Some(open) = ctx.next_code(m) else { return false };
+        if !ctx.is_punct(open, "(") {
+            return false;
+        }
+        let mut depth = 1i64;
+        let mut at = open;
+        while depth > 0 {
+            let Some(x) = ctx.next_code(at) else { return false };
+            let t = &ctx.tokens[x];
+            if t.kind == TokenKind::Punct {
+                match t.text {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    _ => {}
+                }
+            }
+            at = x;
+        }
+        close = at;
+    }
+}
+
+/// Flags every blocking call whose site token falls inside the range.
+fn flag_blocking_in_range(
+    ws: &WorkspaceContext<'_>,
+    blocking: &[bool],
+    file_idx: usize,
+    guard: &GuardBinding,
+    rule: &'static str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let ctx = &ws.files[file_idx];
+    for f in &ws.graph.fns {
+        if f.file != file_idx {
+            continue;
+        }
+        for call in &f.calls {
+            if call.site.token < guard.start || call.site.token >= guard.end {
+                continue;
+            }
+            let why = if is_directly_blocking(call) {
+                Some(format!("`{}` blocks", call.callee_name()))
+            } else if let Resolution::Internal(ids) = &call.resolved {
+                ids.iter().find(|&&t| blocking[t]).map(|&t| {
+                    format!(
+                        "`{}` resolves to `{}`, which blocks transitively",
+                        call.callee_name(),
+                        ws.graph.fns[t].qualified
+                    )
+                })
+            } else {
+                None
+            };
+            if let Some(why) = why {
+                out.push(Diagnostic {
+                    rule,
+                    file: ctx.rel_path.clone(),
+                    line: call.site.line,
+                    col: call.site.col,
+                    message: format!(
+                        "{why} while lock guard `{}` (bound at line {}) is live; \
+                         every contender of that lock stalls for the call's \
+                         duration — drop the guard first",
+                        guard.name, guard.line
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lint_files, rules, Docs};
+
+    fn findings(src: &str) -> Vec<Diagnostic> {
+        let files = vec![("crates/core/src/x.rs".to_string(), src.to_string())];
+        lint_files(
+            &files,
+            &Docs::default(),
+            &[],
+            &[Box::new(LockDiscipline) as Box<dyn rules::WorkspaceRule>],
+            true,
+        )
+    }
+
+    const USE: &str = "use parking_lot::Mutex;\n";
+
+    #[test]
+    fn guard_across_fsync_is_flagged() {
+        let src = format!(
+            "{USE}fn f(m: &Mutex<File>) {{ let g = m.lock(); g.sync_all(); }}"
+        );
+        let out = findings(&src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("guard `g`"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn drop_ends_the_live_range() {
+        let src = format!(
+            "{USE}fn f(m: &Mutex<u8>, tx: &S) {{ let g = m.lock(); let v = *g; drop(g); tx.send(v); }}"
+        );
+        assert!(findings(&src).is_empty(), "{:?}", findings(&src));
+    }
+
+    #[test]
+    fn consuming_chain_after_lock_is_not_a_guard() {
+        // `.write().map(…)` hands the guard to the closure; the binding
+        // holds whatever the chain returns, not the guard.
+        let src = format!(
+            "{USE}fn f(m: &RwLock<Option<u8>>, tx: &S) {{ \
+             let v = m.write().map(|mut s| s.take()).unwrap_or_else(|e| e.into_inner().take()); \
+             tx.send(v); }}"
+        );
+        assert!(findings(&src).is_empty(), "{:?}", findings(&src));
+    }
+
+    #[test]
+    fn poison_recovery_chain_still_binds_the_guard() {
+        let src = format!(
+            "{USE}fn f(m: &Mutex<File>) {{ \
+             let g = m.lock().unwrap_or_else(PoisonError::into_inner); g.sync_all(); }}"
+        );
+        assert_eq!(findings(&src).len(), 1, "{:?}", findings(&src));
+    }
+
+    #[test]
+    fn deref_copy_is_not_a_guard() {
+        let src = format!(
+            "{USE}fn f(m: &Mutex<u8>, tx: &S) {{ let v = *m.lock(); tx.send(v); }}"
+        );
+        assert!(findings(&src).is_empty(), "{:?}", findings(&src));
+    }
+
+    #[test]
+    fn transitive_blocking_through_helper_is_flagged() {
+        let src = format!(
+            "{USE}fn sink(f: &File) {{ f.sync_all(); }}\n\
+             fn f(m: &Mutex<File>) {{ let g = m.lock(); persist(&g); }}\n\
+             fn persist(f: &File) {{ sink(f); }}"
+        );
+        let out = findings(&src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("transitively"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn no_arg_read_write_are_guards_not_blocking() {
+        let src = format!(
+            "{USE}fn f(m: &RwLock<u8>) -> u8 {{ let g = m.read(); *g }}"
+        );
+        assert!(findings(&src).is_empty(), "{:?}", findings(&src));
+    }
+
+    #[test]
+    fn files_without_locks_are_skipped() {
+        let out = findings("fn f(tx: &S) { let g = x.lock(); tx.send(1); }");
+        assert!(out.is_empty(), "no Mutex/RwLock/parking_lot marker: {out:?}");
+    }
+}

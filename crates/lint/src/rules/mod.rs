@@ -1,28 +1,38 @@
-//! The rule registry.
+//! The rule registries: file-scope rules and workspace-scope rules.
 //!
-//! Each rule is a token-stream pass over one file. To add a rule:
+//! A *file rule* is a token-stream pass over one file. A *workspace
+//! rule* sees every file at once plus the symbol graph and the contract
+//! documents ([`crate::WorkspaceContext`]) — that is where the
+//! interprocedural and doc-diffing analyses live. To add a rule:
 //!
-//! 1. create `src/rules/<name>.rs` implementing [`Rule`];
-//! 2. register it in [`all`] below (keep the list alphabetical);
+//! 1. create `src/rules/<name>.rs` implementing [`Rule`] or
+//!    [`WorkspaceRule`];
+//! 2. register it in [`all`] / [`workspace_all`] below (keep the lists
+//!    alphabetical);
 //! 3. add known-good and known-bad fixtures under `fixtures/<name>/`
-//!    and expectations in `tests/fixtures.rs`;
-//! 4. document it in the DESIGN.md §13 rule table.
+//!    and expectations in `tests/fixtures.rs` or `tests/semantic.rs`;
+//! 4. document it in the DESIGN.md §13/§18 rule tables.
 //!
 //! Rules must be *total*: they run on hostile input (the lexer already
-//! guarantees tokens for arbitrary bytes) and must never panic — the
-//! lint binary itself is linted by its own `panic-freedom` rule.
+//! guarantees tokens for arbitrary bytes, the graph degrades to
+//! unresolved calls) and must never panic — the lint binary itself is
+//! linted by its own `panic-reachability` rule.
 
+mod contract_drift;
 mod determinism;
 mod errors_doc;
 mod float_eq;
-mod panic_freedom;
+mod lock_discipline;
+mod panic_reach;
 mod raw_f64_api;
+mod signal_safety;
 mod unsafe_audit;
 
 use crate::context::FileContext;
 use crate::diag::Diagnostic;
+use crate::WorkspaceContext;
 
-/// One static-analysis rule.
+/// One file-scope static-analysis rule.
 pub trait Rule {
     /// The kebab-case rule name used in reports and suppressions.
     fn name(&self) -> &'static str;
@@ -34,22 +44,57 @@ pub trait Rule {
     fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>);
 }
 
-/// All rules, in registry order.
+/// One workspace-scope rule over the symbol graph and contract docs.
+pub trait WorkspaceRule {
+    /// The kebab-case rule name used in reports and suppressions.
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list-rules`.
+    fn description(&self) -> &'static str;
+    /// Scans the whole workspace, appending findings.
+    fn check(&self, ws: &WorkspaceContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// All file rules, in registry order.
 pub fn all() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(determinism::Determinism),
         Box::new(errors_doc::ErrorsDoc),
         Box::new(float_eq::FloatEq),
-        Box::new(panic_freedom::PanicFreedom),
         Box::new(raw_f64_api::RawF64Api),
         Box::new(unsafe_audit::UnsafeAudit),
     ]
 }
 
-/// The names of all registered rules plus the synthetic `suppression`
-/// and `unused-suppression` rules (valid in reports, not in `allow(…)`).
+/// All workspace rules, in registry order.
+pub fn workspace_all() -> Vec<Box<dyn WorkspaceRule>> {
+    vec![
+        Box::new(contract_drift::ContractDrift),
+        Box::new(lock_discipline::LockDiscipline),
+        Box::new(panic_reach::PanicReachability),
+        Box::new(signal_safety::SignalSafety),
+    ]
+}
+
+/// The names of all registered rules (file and workspace). The synthetic
+/// `suppression` and `unused-suppression` rules are valid in reports,
+/// not in `allow(…)`.
 pub fn known_names() -> Vec<&'static str> {
-    all().iter().map(|r| r.name()).collect()
+    all()
+        .iter()
+        .map(|r| r.name())
+        .chain(workspace_all().iter().map(|r| r.name()))
+        .collect()
+}
+
+/// `(name, description)` pairs for every rule plus the synthetic engine
+/// rules — the SARIF driver metadata.
+pub fn all_rule_metadata() -> Vec<(&'static str, &'static str)> {
+    let mut out: Vec<(&'static str, &'static str)> =
+        all().iter().map(|r| (r.name(), r.description())).collect();
+    out.extend(workspace_all().iter().map(|r| (r.name(), r.description())));
+    out.push(("suppression", "malformed or unreasoned ucore-lint allow comment"));
+    out.push(("unused-suppression", "allow comment that matched no finding"));
+    out
 }
 
 /// The crates holding *model* code: arithmetic on BCE-relative

@@ -1,0 +1,251 @@
+//! `panic-reachability`: no panicking constructs outside test code,
+//! with interprocedural evidence.
+//!
+//! Replaces the purely local `panic-freedom` rule of PR 4. The site
+//! detection is unchanged — `.unwrap()` / `.unwrap_err()` / `.expect()`
+//! / `.expect_err()` and the `panic!` / `todo!` / `unimplemented!`
+//! macros in non-test code, anywhere in the workspace — plus slice
+//! indexing (`expr[i]`) inside `crates/serve/src/`, the
+//! availability-critical layer where an out-of-bounds panic kills a
+//! connection thread. What the symbol graph adds is *evidence*: when
+//! the function containing a panic site is reachable from a `pub`
+//! non-test function elsewhere, the diagnostic carries the shortest
+//! caller chain, so the blast radius is visible in the report.
+//!
+//! Suppressing a site (`allow(panic-reachability)`) also stops it from
+//! tainting callers: vetted sites produce no chains.
+
+use super::WorkspaceRule;
+use crate::diag::Diagnostic;
+use crate::graph::{CallKind, Resolution};
+use crate::lexer::TokenKind;
+use crate::WorkspaceContext;
+use std::collections::VecDeque;
+
+/// The `panic-reachability` rule.
+pub struct PanicReachability;
+
+/// Method names that panic on the unhappy path.
+const PANICKY_METHODS: [&str; 4] = ["unwrap", "expect", "unwrap_err", "expect_err"];
+
+/// Macro names that always panic when reached.
+const PANICKY_MACROS: [&str; 3] = ["panic", "todo", "unimplemented"];
+
+/// Where slice indexing counts as a panic source.
+const INDEX_SCOPE: &str = "crates/serve/src/";
+
+impl WorkspaceRule for PanicReachability {
+    fn name(&self) -> &'static str {
+        "panic-reachability"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panic! (+ slice indexing in serve) outside tests, with caller chains"
+    }
+
+    fn check(&self, ws: &WorkspaceContext<'_>, out: &mut Vec<Diagnostic>) {
+        // Callers of each fn, for evidence chains (non-test edges only).
+        let n = ws.graph.fns.len();
+        let mut callers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (id, f) in ws.graph.fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            for call in &f.calls {
+                if let Resolution::Internal(ids) = &call.resolved {
+                    for &callee in ids {
+                        callers[callee].push(id);
+                    }
+                }
+            }
+        }
+
+        for (file_idx, ctx) in ws.files.iter().enumerate() {
+            for (i, tok) in ctx.tokens.iter().enumerate() {
+                if ctx.in_test[i] {
+                    continue;
+                }
+                let message = if tok.kind == TokenKind::Ident
+                    && PANICKY_METHODS.contains(&tok.text)
+                    && ctx.prev_code(i).is_some_and(|p| ctx.is_punct(p, "."))
+                    && ctx.next_code(i).is_some_and(|nx| ctx.is_punct(nx, "("))
+                {
+                    Some(format!(
+                        "`.{}()` outside test code; propagate a typed error \
+                         (`?`, `ok_or`, `map_err`) instead",
+                        tok.text
+                    ))
+                } else if tok.kind == TokenKind::Ident
+                    && PANICKY_MACROS.contains(&tok.text)
+                    && ctx.next_code(i).is_some_and(|nx| ctx.is_punct(nx, "!"))
+                {
+                    Some(format!(
+                        "`{}!` outside test code; return a typed error instead",
+                        tok.text
+                    ))
+                } else if tok.kind == TokenKind::Punct
+                    && tok.text == "["
+                    && ctx.rel_path.starts_with(INDEX_SCOPE)
+                    && crate::graph::is_index_open(ctx, i)
+                {
+                    Some(
+                        "slice indexing can panic on out-of-range bounds; serve-layer \
+                         code must use `.get(..)` or checked splits"
+                            .to_string(),
+                    )
+                } else {
+                    None
+                };
+                let Some(mut message) = message else { continue };
+                if !ws.is_suppressed(self.name(), file_idx, tok.line) {
+                    if let Some(chain) =
+                        evidence_chain(ws, &callers, file_idx, i, tok.line)
+                    {
+                        message.push_str(&chain);
+                    }
+                }
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    file: ctx.rel_path.clone(),
+                    line: tok.line,
+                    col: tok.col,
+                    message,
+                });
+            }
+        }
+    }
+}
+
+/// When the fn containing the panic site at token `tok_idx` is reachable
+/// from a `pub` non-test fn elsewhere, renders "; reachable from …".
+fn evidence_chain(
+    ws: &WorkspaceContext<'_>,
+    callers: &[Vec<usize>],
+    file_idx: usize,
+    tok_idx: usize,
+    _line: u32,
+) -> Option<String> {
+    // Find the fn whose recorded calls/index sites include this token.
+    let holder = ws.graph.fns.iter().position(|f| {
+        f.file == file_idx
+            && (f.calls.iter().any(|c| c.site.token == tok_idx)
+                || f.index_sites.iter().any(|s| s.token == tok_idx)
+                || f.calls.iter().any(|c| {
+                    // Macro sites anchor on the name token, one before `!`.
+                    matches!(c.kind, CallKind::Macro(_)) && c.site.token == tok_idx
+                }))
+    })?;
+    // BFS towards callers for the nearest pub non-test entry point.
+    let fns = &ws.graph.fns;
+    let mut prev: Vec<Option<usize>> = vec![None; fns.len()];
+    let mut seen = vec![false; fns.len()];
+    let mut queue = VecDeque::from([holder]);
+    seen[holder] = true;
+    while let Some(at) = queue.pop_front() {
+        if at != holder && fns[at].is_pub && !fns[at].in_test {
+            // Render entry → … → holder.
+            let mut path = vec![at];
+            let mut cur = at;
+            while let Some(p) = prev[cur] {
+                path.push(p);
+                cur = p;
+            }
+            let names: Vec<&str> = path
+                .iter()
+                .take(6)
+                .map(|&id| fns[id].name.as_str())
+                .collect();
+            return Some(format!(
+                "; reachable from pub fn `{}` via {}",
+                fns[at].qualified,
+                names.join(" → "),
+            ));
+        }
+        for &c in &callers[at] {
+            if !seen[c] {
+                seen[c] = true;
+                prev[c] = Some(at);
+                queue.push_back(c);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lint_files, rules, Docs};
+
+    fn findings(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let owned: Vec<(String, String)> =
+            files.iter().map(|(p, s)| (p.to_string(), s.to_string())).collect();
+        lint_files(
+            &owned,
+            &Docs::default(),
+            &[],
+            &[Box::new(PanicReachability) as Box<dyn rules::WorkspaceRule>],
+            true,
+        )
+    }
+
+    #[test]
+    fn flags_unwrap_and_macros_like_the_old_rule() {
+        let out = findings(&[(
+            "crates/core/src/x.rs",
+            "fn f() { let x = maybe.unwrap(); panic!(\"boom\"); }",
+        )]);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|d| d.rule == "panic-reachability"));
+    }
+
+    #[test]
+    fn ignores_lookalikes_and_test_code() {
+        let out = findings(&[(
+            "crates/core/src/x.rs",
+            "fn f() { let x = maybe.unwrap_or(0); std::panic::catch_unwind(g); }\n\
+             #[cfg(test)]\nmod t { fn g() { x.unwrap(); } }",
+        )]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn slice_indexing_flags_only_in_serve() {
+        let src = "fn f(v: &[u8]) -> u8 { v[0] }";
+        assert_eq!(findings(&[("crates/serve/src/http.rs", src)]).len(), 1);
+        assert!(findings(&[("crates/core/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn evidence_chain_names_the_pub_entry() {
+        let out = findings(&[
+            (
+                "crates/core/src/a.rs",
+                "pub fn entry() { helper(); }\nfn helper() { deep(); }\nfn deep() { x.unwrap(); }",
+            ),
+        ]);
+        assert_eq!(out.len(), 1);
+        assert!(
+            out[0].message.contains("reachable from pub fn `ucore_core::a::entry`"),
+            "{}",
+            out[0].message
+        );
+        assert!(out[0].message.contains("entry → helper → deep"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn suppressed_site_produces_no_chain_but_is_used() {
+        let out = findings(&[(
+            "crates/core/src/a.rs",
+            "pub fn entry() { helper(); }\n\
+             // ucore-lint: allow(panic-reachability): invariant upheld by caller\n\
+             fn helper() { x.unwrap(); }",
+        )]);
+        assert!(out.is_empty(), "suppression consumed the finding: {out:?}");
+    }
+
+    #[test]
+    fn description_is_stable() {
+        assert!(PanicReachability.description().contains("unwrap"));
+    }
+}

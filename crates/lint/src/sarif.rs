@@ -1,0 +1,91 @@
+//! SARIF 2.1.0 output.
+//!
+//! Hand-rolled like the rest of the crate (no serde in the production
+//! path): one run, one driver (`ucore-lint`), every registered rule in
+//! the driver's rule table, one `result` per finding with a physical
+//! location. The emitted subset is pinned by `tests/sarif_schema.rs`,
+//! which validates structure and required fields against the vendored
+//! `serde_json` parser, so CI artifact consumers (and the
+//! `lint-semantic` job) can rely on the shape.
+
+use crate::diag::{json_string, Diagnostic};
+use std::fmt::Write as _;
+
+/// The SARIF schema the output declares.
+pub const SCHEMA_URI: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+/// Renders findings as a SARIF 2.1.0 document. `rules` is the full
+/// `(name, description)` metadata table (see
+/// [`crate::rules::all_rule_metadata`]); findings should be sorted.
+pub fn render_sarif(findings: &[Diagnostic], rules: &[(&str, &str)]) -> String {
+    let mut out = String::from("{");
+    let _ = write!(out, "\"$schema\":{},", json_string(SCHEMA_URI));
+    out.push_str("\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{");
+    let _ = write!(
+        out,
+        "\"name\":\"ucore-lint\",\"version\":{},\"rules\":[",
+        json_string(env!("CARGO_PKG_VERSION"))
+    );
+    for (i, (name, desc)) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"shortDescription\":{{\"text\":{}}}}}",
+            json_string(name),
+            json_string(desc)
+        );
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, d) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"ruleId\":{},\"level\":\"error\",\"message\":{{\"text\":{}}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+             {{\"uri\":{}}},\"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}]}}",
+            json_string(d.rule),
+            json_string(&d.message),
+            json_string(&d.file),
+            d.line,
+            d.col
+        );
+    }
+    out.push_str("]}]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Diagnostic {
+        Diagnostic {
+            rule: "contract-drift",
+            file: "crates/serve/src/obs.rs".into(),
+            line: 12,
+            col: 9,
+            message: "metric `serve.shed` undocumented \"quoted\"".into(),
+        }
+    }
+
+    #[test]
+    fn emits_schema_version_and_rule_table() {
+        let out = render_sarif(&[finding()], &[("contract-drift", "docs match code")]);
+        assert!(out.contains("\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\""));
+        assert!(out.contains("\"version\":\"2.1.0\""));
+        assert!(out.contains("\"id\":\"contract-drift\""));
+        assert!(out.contains("\"startLine\":12"));
+        assert!(out.contains("\\\"quoted\\\""));
+    }
+
+    #[test]
+    fn empty_findings_still_emit_a_run() {
+        let out = render_sarif(&[], &[("float-eq", "no float ==")]);
+        assert!(out.contains("\"results\":[]"));
+        assert!(out.contains("\"name\":\"ucore-lint\""));
+    }
+}

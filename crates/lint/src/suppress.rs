@@ -128,7 +128,7 @@ fn target_line(ctx: &FileContext<'_>, i: usize) -> u32 {
 /// matched nothing.
 pub fn apply(
     ctx: &FileContext<'_>,
-    suppressions: Vec<Suppression>,
+    suppressions: &[Suppression],
     findings: Vec<Diagnostic>,
     check_unused: bool,
 ) -> Vec<Diagnostic> {
@@ -164,7 +164,7 @@ pub fn apply(
 mod tests {
     use super::*;
 
-    const RULES: [&str; 2] = ["float-eq", "panic-freedom"];
+    const RULES: [&str; 2] = ["float-eq", "panic-reachability"];
 
     fn parse(src: &str) -> (Vec<Suppression>, Vec<Diagnostic>) {
         let ctx = FileContext::new("x.rs", src);
@@ -214,7 +214,7 @@ mod tests {
         let ctx = FileContext::new("x.rs", src);
         let mut bad = Vec::new();
         let sup = collect(&ctx, &RULES, &mut bad);
-        let out = apply(&ctx, sup, Vec::new(), true);
+        let out = apply(&ctx, &sup, Vec::new(), true);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].rule, "unused-suppression");
     }
@@ -232,16 +232,16 @@ mod tests {
             col: 9,
             message: "m".into(),
         };
-        let out = apply(&ctx, sup, vec![finding], true);
+        let out = apply(&ctx, &sup, vec![finding], true);
         assert!(out.is_empty());
     }
 
     #[test]
     fn block_comment_form_works() {
         let (sup, bad) =
-            parse("/* ucore-lint: allow(panic-freedom): proven reachable-only-in-tests */\nfoo.unwrap();\n");
+            parse("/* ucore-lint: allow(panic-reachability): proven reachable-only-in-tests */\nfoo.unwrap();\n");
         assert!(bad.is_empty());
         assert_eq!(sup.len(), 1);
-        assert_eq!(sup[0].rule, "panic-freedom");
+        assert_eq!(sup[0].rule, "panic-reachability");
     }
 }

@@ -35,27 +35,6 @@ fn float_eq_corpus() {
 }
 
 #[test]
-fn panic_freedom_corpus() {
-    assert_eq!(
-        findings(
-            "crates/core/src/fixture.rs",
-            include_str!("fixtures/panic_freedom/bad.rs"),
-        ),
-        vec![
-            (5, "panic-freedom"),
-            (6, "panic-freedom"),
-            (8, "panic-freedom"),
-            (11, "panic-freedom"),
-            (13, "panic-freedom"),
-        ],
-    );
-    assert_clean(
-        "crates/core/src/fixture.rs",
-        include_str!("fixtures/panic_freedom/good.rs"),
-    );
-}
-
-#[test]
 fn determinism_corpus() {
     // The pseudo-path places the fixture on an output path (results.rs).
     assert_eq!(

@@ -1,0 +1,21 @@
+//! contract-drift fixture: a registry, an error constructor, and a CLI
+//! parser whose documented contracts are diffed by the rule.
+
+/// Registers one documented metric and one the docs never mention.
+pub fn register(r: &Registry) {
+    r.counter("serve.accepted");
+    r.counter("serve.shed");
+}
+
+/// Constructs one documented error code and one undocumented.
+pub fn classify(kind: Kind) -> ServeError {
+    match kind {
+        Kind::Overloaded => ServeError::new("server.overloaded", 503),
+        Kind::Draining => ServeError::new("server.draining", 503),
+    }
+}
+
+/// Parses the flags the README tables must cover.
+pub fn parse(arg: &str) -> bool {
+    matches!(arg, "--json" | "--workers")
+}

@@ -1,0 +1,26 @@
+//! lock-discipline fixture: blocking calls made while guards are live.
+
+use parking_lot::Mutex;
+
+/// Fsyncs under the lock: every contender stalls for the disk write.
+pub fn persist(m: &Mutex<File>) {
+    let guard = m.lock();
+    guard.sync_all();
+}
+
+/// Sends on a channel while the read guard is still live.
+pub fn publish(m: &RwLock<u8>, tx: &Sender<u8>) {
+    let g = m.read();
+    tx.send(*g);
+}
+
+/// Blocks transitively: `flush` resolves into `persist` above.
+pub fn checkpoint(state: &Mutex<File>, m: &Mutex<File>) {
+    let held = state.lock();
+    flush(m, &held);
+}
+
+/// Helper that reaches `sync_all` through `persist`.
+fn flush(m: &Mutex<File>, _witness: &File) {
+    persist(m);
+}

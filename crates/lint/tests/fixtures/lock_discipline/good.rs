@@ -1,0 +1,24 @@
+//! lock-discipline fixture: guards released before anything blocks.
+
+use parking_lot::Mutex;
+
+/// Copies out of the guard, then blocks with no lock held.
+pub fn publish(m: &Mutex<u8>, tx: &Sender<u8>) {
+    let v = *m.lock();
+    tx.send(v);
+}
+
+/// Drops the guard explicitly before the channel send.
+pub fn drain(m: &Mutex<u8>, tx: &Sender<u8>) {
+    let g = m.lock();
+    let v = *g;
+    drop(g);
+    tx.send(v);
+}
+
+/// The chain consumes the guard inside the initializer: `take` runs
+/// under the lock, the binding holds plain data.
+pub fn swap_out(m: &RwLock<Option<u8>>, tx: &Sender<Option<u8>>) {
+    let taken = m.write().map(|mut s| s.take()).unwrap_or_else(|e| e.into_inner().take());
+    tx.send(taken);
+}

@@ -1,4 +1,4 @@
-//! panic-freedom fixture: every panicking construct outside tests.
+//! panic-reachability fixture: every panicking construct outside tests.
 
 /// Panics five different ways; each panicking line is one finding.
 pub fn panics(v: Option<u32>) -> u32 {

@@ -1,4 +1,4 @@
-//! panic-freedom fixture: typed errors outside tests, unwrap inside.
+//! panic-reachability fixture: typed errors outside tests, unwrap inside.
 
 /// Divides, reporting failure as a typed error.
 ///

@@ -1,0 +1,24 @@
+//! signal-safety fixture: allocation and panic paths inside a handler.
+
+extern "C" {
+    fn signal(s: i32, h: extern "C" fn(i32)) -> usize;
+}
+
+/// The handler: formats (allocates) and indexes (can panic).
+extern "C" fn on_signal(_sig: i32) {
+    eprintln!("caught");
+    let _code = EXIT_CODES[0];
+    helper();
+}
+
+/// Reached from the handler; the filesystem call is not on the allowlist.
+fn helper() {
+    std::fs::remove_file("lock");
+}
+
+/// Installs the handler.
+pub fn install() {
+    // SAFETY: installing a fn-pointer handler for SIGINT is sound; the
+    // handler body is what this fixture audits.
+    unsafe { signal(2, on_signal) };
+}

@@ -1,0 +1,27 @@
+//! signal-safety fixture: the handler touches only atomics and the
+//! async-signal-safe set.
+
+extern "C" {
+    fn signal(s: i32, h: extern "C" fn(i32)) -> usize;
+    fn fsync(fd: i32) -> i32;
+    fn _exit(code: i32) -> !;
+}
+
+/// Flags the request, fsyncs the journal fd, and exits — every leaf is
+/// on the allowlist.
+extern "C" fn on_signal(_sig: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+    let fd = JOURNAL_FD.load(Ordering::SeqCst);
+    // SAFETY: fsync and _exit are async-signal-safe; the fd is the
+    // published journal descriptor.
+    unsafe {
+        fsync(fd);
+        _exit(130);
+    }
+}
+
+/// Installs the handler.
+pub fn install() {
+    // SAFETY: installing a fn-pointer handler for SIGINT is sound.
+    unsafe { signal(2, on_signal) };
+}

@@ -1,0 +1,93 @@
+//! Property tests: the symbol graph is *total*. Whatever source text
+//! arrives — byte soup, unbalanced braces, half-written items, hostile
+//! `use` trees — `SymbolGraph::build` must return without panicking,
+//! keep every node's spans and file indices in range, and keep every
+//! internal resolution pointing at a real node.
+
+use proptest::prelude::*;
+use ucore_lint::context::FileContext;
+use ucore_lint::graph::{Resolution, SymbolGraph};
+
+/// Builds the graph over one pseudo-file and checks the invariants
+/// every consumer (the workspace rules) relies on.
+fn assert_total(src: &str) {
+    let ctx = FileContext::new("crates/core/src/fixture.rs", src);
+    let files = [ctx];
+    let graph = SymbolGraph::build(&files);
+    for f in &graph.fns {
+        assert!(f.file < files.len(), "file index out of range in {src:?}");
+        assert!(!f.name.is_empty(), "unnamed fn node in {src:?}");
+        assert!(f.line >= 1 && f.col >= 1, "1-indexed fn span in {src:?}");
+        let n_tokens = files[f.file].tokens.len();
+        for call in &f.calls {
+            assert!(call.site.token < n_tokens, "call token out of range in {src:?}");
+            if let Resolution::Internal(ids) = &call.resolved {
+                assert!(
+                    ids.iter().all(|&id| id < graph.fns.len()),
+                    "dangling resolution in {src:?}"
+                );
+            }
+        }
+        for site in &f.index_sites {
+            assert!(site.token < n_tokens, "index token out of range in {src:?}");
+        }
+    }
+}
+
+/// Fragments shaped like the indexer's edges: nested/unbalanced
+/// items, impl headers, use trees, calls, and keyword lookalikes.
+const HOSTILE_FRAGMENTS: [&str; 20] = [
+    "fn",
+    "fn f(",
+    "fn f() {",
+    "}",
+    "impl",
+    "impl<T: Iterator<Item = U>> X for",
+    "impl Y { fn m(&self)",
+    "mod m {",
+    "use a::{b::{c as d, e}, f};",
+    "use ::*;",
+    "use {,};",
+    "self::super::Self::x()",
+    "x.y.z()",
+    "a!{",
+    "v[",
+    "][",
+    "extern \"C\" { fn sig(h: fn(i32)); }",
+    "let _ = if x { y() } else { z!() };",
+    "pub pub fn g()",
+    "Trait::<A, {B}>::call()",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup (lossily decoded) never panics the indexer.
+    #[test]
+    fn indexes_arbitrary_bytes(
+        input in (0usize..=256, prop::collection::vec(0u8..=255u8, 256)),
+    ) {
+        let (len, bytes) = input;
+        let src = String::from_utf8_lossy(&bytes[..len]).into_owned();
+        assert_total(&src);
+    }
+
+    /// Concatenations of hostile fragments — half-written Rust items —
+    /// never panic the indexer either.
+    #[test]
+    fn indexes_hostile_fragment_soup(
+        picks in prop::collection::vec(0usize..HOSTILE_FRAGMENTS.len(), 12),
+    ) {
+        let src: String =
+            picks.iter().map(|&i| HOSTILE_FRAGMENTS[i]).collect::<Vec<_>>().join(" ");
+        assert_total(&src);
+    }
+}
+
+#[test]
+fn indexes_every_single_hostile_fragment() {
+    for frag in HOSTILE_FRAGMENTS {
+        assert_total(frag);
+    }
+    assert_total("");
+}

@@ -1,0 +1,72 @@
+//! Pins the SARIF 2.1.0 subset `--sarif` emits. The emitter is
+//! hand-rolled (no serde in the production path), so this test parses
+//! its output with the vendored `serde_json` and asserts every field a
+//! SARIF consumer (GitHub code scanning, `sarif-tools`) requires:
+//! `$schema`, `version`, the driver rule table, and one physical
+//! location per result. Escaping is exercised with hostile message
+//! content.
+
+use serde_json::Value;
+use ucore_lint::diag::Diagnostic;
+use ucore_lint::rules;
+use ucore_lint::sarif::{render_sarif, SCHEMA_URI};
+
+fn parse(findings: &[Diagnostic]) -> Value {
+    let text = render_sarif(findings, &rules::all_rule_metadata());
+    serde_json::from_str(&text).expect("--sarif output must be valid JSON")
+}
+
+#[test]
+fn document_declares_the_pinned_schema_and_version() {
+    let doc = parse(&[]);
+    assert_eq!(doc["$schema"], SCHEMA_URI);
+    assert_eq!(doc["version"], "2.1.0");
+    assert_eq!(doc["runs"].as_array().map(|a| a.len()), Some(1));
+}
+
+#[test]
+fn driver_lists_every_registered_rule() {
+    let doc = parse(&[]);
+    let driver = &doc["runs"][0]["tool"]["driver"];
+    assert_eq!(driver["name"], "ucore-lint");
+    assert!(driver["version"].is_string());
+    let ids: Vec<&str> = driver["rules"]
+        .as_array()
+        .expect("driver.rules is an array")
+        .iter()
+        .map(|r| r["id"].as_str().expect("rule id is a string"))
+        .collect();
+    for (name, _) in rules::all_rule_metadata() {
+        assert!(ids.contains(&name), "driver.rules is missing `{name}`");
+    }
+    for rule in driver["rules"].as_array().unwrap() {
+        assert!(
+            rule["shortDescription"]["text"].is_string(),
+            "every rule carries a shortDescription"
+        );
+    }
+    assert_eq!(doc["runs"][0]["results"].as_array().map(|a| a.len()), Some(0));
+}
+
+#[test]
+fn results_carry_rule_level_message_and_location() {
+    let finding = Diagnostic {
+        rule: "contract-drift",
+        file: "crates/serve/src/obs.rs".into(),
+        line: 57,
+        col: 31,
+        message: "metric `serve.accepted` has \"quotes\", a \\ backslash,\nand a newline".into(),
+    };
+    let doc = parse(&[finding]);
+    let result = &doc["runs"][0]["results"][0];
+    assert_eq!(result["ruleId"], "contract-drift");
+    assert_eq!(result["level"], "error");
+    assert_eq!(
+        result["message"]["text"].as_str().unwrap(),
+        "metric `serve.accepted` has \"quotes\", a \\ backslash,\nand a newline"
+    );
+    let loc = &result["locations"][0]["physicalLocation"];
+    assert_eq!(loc["artifactLocation"]["uri"], "crates/serve/src/obs.rs");
+    assert_eq!(loc["region"]["startLine"], 57);
+    assert_eq!(loc["region"]["startColumn"], 31);
+}

@@ -167,6 +167,7 @@ impl DurabilityContext {
             .and_then(crate::faultinject::Fault::disk_error);
         let outcome = match injected {
             Some(e) => Err(JournalError::Io(e)),
+            // ucore-lint: allow(lock-discipline): the writer mutex exists to serialize exactly this append+fsync; contenders queue behind the disk write by design (§11)
             None => writer.append(record),
         };
         if let Err(e) = outcome {
@@ -416,7 +417,7 @@ pub(crate) fn timeout_message(index: usize, budget: Duration) -> String {
 pub fn watchdog_checkpoint() {
     if let Some((start, budget)) = watchdog_state() {
         if start.elapsed() >= budget {
-            // ucore-lint: allow(panic-freedom): the watchdog's panic IS the containment signal; the sweep boundary catches it and converts it to Failed{timeout}
+            // ucore-lint: allow(panic-reachability): the watchdog's panic IS the containment signal; the sweep boundary catches it and converts it to Failed{timeout}
             panic!(
                 "watchdog deadline exceeded ({} ms budget) at cooperative checkpoint",
                 budget.as_millis()
@@ -425,7 +426,7 @@ pub fn watchdog_checkpoint() {
     }
     if let Some((start, budget)) = request_deadline_state() {
         if start.elapsed() >= budget {
-            // ucore-lint: allow(panic-freedom): the request-deadline panic is the same containment signal as the watchdog's; the sweep boundary converts it to a Failed outcome
+            // ucore-lint: allow(panic-reachability): the request-deadline panic is the same containment signal as the watchdog's; the sweep boundary converts it to a Failed outcome
             panic!(
                 "request deadline exceeded ({} ms budget) at cooperative checkpoint",
                 budget.as_millis()

@@ -110,7 +110,7 @@ impl Scenario {
     // this expect.
     #[allow(clippy::expect_used)]
     pub fn power_law(&self) -> SerialPowerLaw {
-        // ucore-lint: allow(panic-freedom): alphas come only from this module's private constants, all of which SerialPowerLaw accepts
+        // ucore-lint: allow(panic-reachability): alphas come only from this module's private constants, all of which SerialPowerLaw accepts
         SerialPowerLaw::new(self.alpha).expect("scenario alphas are valid")
     }
 

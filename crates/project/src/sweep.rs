@@ -773,7 +773,7 @@ fn evaluate_contained(
     SUPPRESS_PANIC_OUTPUT.with(|s| s.set(true));
     let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
         if matches!(fault, Some(Fault::Panic)) {
-            // ucore-lint: allow(panic-freedom): deliberate fault injection exercising the containment boundary that catches it two lines down
+            // ucore-lint: allow(panic-reachability): deliberate fault injection exercising the containment boundary that catches it two lines down
             panic!("injected panic at point {index}");
         }
         evaluate(engine, point, use_cache)

@@ -230,6 +230,7 @@ fn worker_loop(
     loop {
         let next = {
             let guard = receiver.lock().unwrap_or_else(PoisonError::into_inner);
+            // ucore-lint: allow(lock-discipline): shared-receiver MPMC — the mutex's whole job is to park idle workers on recv until a connection arrives; no other state hides behind it
             guard.recv()
         };
         let Ok(stream) = next else { return };
