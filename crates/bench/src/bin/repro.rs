@@ -3,7 +3,7 @@
 //! ```text
 //! repro --all                  # everything, in paper order
 //! repro --table 5              # one table (1-6)
-//! repro --figure 6             # one figure (2-10)
+//! repro --figure 6             # one figure (2-11)
 //! repro --scenario 3           # one 6.2 scenario (1-6)
 //! repro --json figure-6        # machine-readable figure data
 //! repro --stats --figure 6     # + sweep/cache counters on stderr
@@ -69,7 +69,7 @@ fn usage() -> &'static str {
      [--bench-dir DIR] [--bench-against PATH] [--bench-current PATH] [--bench-tolerance X] \
      [--all | --experiments | --table N | --figure N | --scenario N | --json figure-N | --csv figure-N \
      | --bench-snapshot TOPIC | --bench-check TOPIC]\n\
-     tables: 1-6; figures: 2-10; scenarios: 1-6; json/csv: figures 6-10; bench topics: kernels|sweep|all\n\
+     tables: 1-6; figures: 2-11; scenarios: 1-6; json/csv: figures 6-11; bench topics: kernels|sweep|all\n\
      --stats: print evaluation/cache/sweep/durability counters to stderr\n\
      --max-failures N: exit nonzero if more than N sweep points fail (default 0)\n\
      --journal PATH: stream completed sweep points to an append-only checksummed journal\n\

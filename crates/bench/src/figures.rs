@@ -291,6 +291,17 @@ pub fn figure10() -> Result<String, Box<dyn std::error::Error>> {
     Ok(format!("Figure 10: {}", render_projection(&fig, false)))
 }
 
+/// Figure 11: the composite-workload portfolio projection (shared
+/// U-cores vs Multi-Amdahl split portfolios).
+///
+/// # Errors
+///
+/// Propagates projection errors.
+pub fn figure11() -> Result<String, Box<dyn std::error::Error>> {
+    let fig = proj::figure11()?;
+    Ok(format!("Figure 11: {}", render_projection(&fig, true)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

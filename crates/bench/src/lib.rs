@@ -55,6 +55,7 @@ pub fn render_all() -> Result<String, Box<dyn std::error::Error>> {
     out.push_str(&figures::figure8()?);
     out.push_str(&figures::figure9()?);
     out.push_str(&figures::figure10()?);
+    out.push_str(&figures::figure11()?);
     for n in 1..=6 {
         out.push_str(&scenarios::scenario(n)?);
         out.push('\n');
@@ -70,8 +71,8 @@ mod tests {
         for needle in [
             "Table 1", "Table 2", "Table 3", "Table 4", "Table 5", "Table 6",
             "Figure 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6",
-            "Figure 7", "Figure 8", "Figure 9", "Figure 10", "Scenario 1",
-            "Scenario 6",
+            "Figure 7", "Figure 8", "Figure 9", "Figure 10", "Figure 11",
+            "Scenario 1", "Scenario 6",
         ] {
             assert!(all.contains(needle), "missing {needle}");
         }

@@ -24,14 +24,14 @@ use std::fmt;
 pub enum Target {
     /// A paper table, `"1"`-`"6"`.
     Table(String),
-    /// An ASCII-rendered figure, `"2"`-`"10"`.
+    /// An ASCII-rendered figure, `"2"`-`"11"`.
     Figure(String),
     /// A §6.2 scenario, `"1"`-`"6"`.
     Scenario(String),
     /// A projection figure as pretty-printed JSON, `"figure-6"` -
-    /// `"figure-10"`.
+    /// `"figure-11"`.
     Json(String),
-    /// A projection figure as CSV, `"figure-6"` - `"figure-10"`.
+    /// A projection figure as CSV, `"figure-6"` - `"figure-11"`.
     Csv(String),
 }
 
@@ -52,11 +52,11 @@ pub struct Rendered {
 pub enum RenderError {
     /// The table number is not `1`-`6`.
     UnknownTable(String),
-    /// The figure number is not `2`-`10`.
+    /// The figure number is not `2`-`11`.
     UnknownFigure(String),
     /// The scenario number is not `1`-`6`.
     UnknownScenario(String),
-    /// The JSON/CSV target is not `figure-6`-`figure-10`.
+    /// The JSON/CSV target is not `figure-6`-`figure-11`.
     UnknownProjection(String),
     /// The model itself failed (projection, calibration, or
     /// serialization) — already stringified so the error is `Send`.
@@ -80,7 +80,7 @@ impl fmt::Display for RenderError {
                 write!(f, "table {n} is not one of 1-6")
             }
             RenderError::UnknownFigure(n) => {
-                write!(f, "figure {n} is not one of 2-10")
+                write!(f, "figure {n} is not one of 2-11")
             }
             RenderError::UnknownScenario(n) => {
                 write!(f, "scenario {n:?} is not one of 1-6")
@@ -105,7 +105,7 @@ fn model_error(e: impl fmt::Display) -> RenderError {
 /// # Errors
 ///
 /// [`RenderError::UnknownProjection`] for a target outside
-/// `figure-6`-`figure-10`, [`RenderError::Model`] for projection
+/// `figure-6`-`figure-11`, [`RenderError::Model`] for projection
 /// failures.
 pub fn projection(which: &str) -> Result<ucore_project::FigureData, RenderError> {
     match which {
@@ -114,6 +114,7 @@ pub fn projection(which: &str) -> Result<ucore_project::FigureData, RenderError>
         "figure-8" => ucore_project::figures::figure8().map_err(model_error),
         "figure-9" => ucore_project::figures::figure9().map_err(model_error),
         "figure-10" => ucore_project::figures::figure10().map_err(model_error),
+        "figure-11" => ucore_project::figures::figure11().map_err(model_error),
         other => Err(RenderError::UnknownProjection(other.to_string())),
     }
 }
@@ -151,6 +152,7 @@ pub fn render(target: &Target) -> Result<Rendered, RenderError> {
                 "8" => figures::figure8().map_err(model_error)?,
                 "9" => figures::figure9().map_err(model_error)?,
                 "10" => figures::figure10().map_err(model_error)?,
+                "11" => figures::figure11().map_err(model_error)?,
                 other => return Err(RenderError::UnknownFigure(other.to_string())),
             };
             Ok(no_health(format!("{body}\n")))
@@ -188,7 +190,7 @@ mod tests {
     fn bad_targets_are_typed_and_usage_worthy() {
         let cases: [(Target, &str); 4] = [
             (Target::Table("7".into()), "table 7 is not one of 1-6"),
-            (Target::Figure("11".into()), "figure 11 is not one of 2-10"),
+            (Target::Figure("12".into()), "figure 12 is not one of 2-11"),
             (Target::Scenario("x".into()), "scenario \"x\" is not one of 1-6"),
             (
                 Target::Json("figure-2".into()),

@@ -446,6 +446,25 @@ fn sweep_snapshot(budget: Duration) -> Result<BenchSnapshot, SnapshotError> {
         }
     }));
 
+    // Portfolio allocation strategies on the composite three-kernel
+    // workload: the closed-form KKT waterfiller against the exhaustive
+    // grid oracle it is differentially tested against.
+    let table5 = setup("table 5", ucore_calibrate::Table5::derive())?;
+    let chip = {
+        let f = setup("fraction", ParallelFraction::new(0.99))?;
+        let workload = setup(
+            "composite workload",
+            ucore_calibrate::composite_workload(&table5, ucore_devices::DeviceId::Asic, f),
+        )?;
+        setup("portfolio chip", ucore_core::PortfolioChip::new(40.0, 4.0, workload))?
+    };
+    entries.push(measure("portfolio/allocate", budget, || {
+        black_box(chip.allocate().ok());
+    }));
+    entries.push(measure("portfolio/exhaustive", budget, || {
+        black_box(chip.allocate_exhaustive(64).ok());
+    }));
+
     Ok(BenchSnapshot {
         schema_version: SCHEMA_VERSION,
         topic: "sweep".to_string(),

@@ -49,12 +49,14 @@ const KERNEL_IDS: [&str; 14] = [
     "kernels/black_scholes/parallel4",
 ];
 
-const SWEEP_IDS: [&str; 5] = [
+const SWEEP_IDS: [&str; 7] = [
     "sweep/sequential",
     "sweep/parallel",
     "sweep/cached",
     "optimize/exhaustive",
     "optimize/pruned",
+    "portfolio/allocate",
+    "portfolio/exhaustive",
 ];
 
 #[test]

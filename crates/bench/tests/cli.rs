@@ -48,7 +48,9 @@ fn json_export_is_deterministic_and_well_formed() {
     // Two independent processes — separate caches, separate sweeps —
     // must print byte-identical JSON for every exported figure, with
     // the id/panels/series/points schema the downstream tooling diffs.
-    for which in ["figure-6", "figure-7", "figure-8", "figure-9", "figure-10"] {
+    for which in [
+        "figure-6", "figure-7", "figure-8", "figure-9", "figure-10", "figure-11",
+    ] {
         let first = repro(&["--json", which]);
         let second = repro(&["--json", which]);
         assert!(first.status.success(), "{which}");

@@ -3,7 +3,7 @@
 //!
 //! `ucore-project` pins the serialized `FigureData` JSON; this binary
 //! pins the *human-rendered* tables and figures the `repro` CLI ships:
-//! the exact text of Figures 5–10 and Tables 1/5 must not depend on
+//! the exact text of Figures 5–11 and Tables 1/5 must not depend on
 //! `UCORE_SWEEP_THREADS`. This is the contract the bench trajectory
 //! relies on — `sweep/parallel` may only be faster than
 //! `sweep/sequential`, never different.
@@ -27,6 +27,7 @@ fn render(threads: &str) -> Vec<(&'static str, String)> {
         ("figure8", must("figure8", figures::figure8())),
         ("figure9", must("figure9", figures::figure9())),
         ("figure10", must("figure10", figures::figure10())),
+        ("figure11", must("figure11", figures::figure11())),
     ];
     std::env::remove_var("UCORE_SWEEP_THREADS");
     out

@@ -1,0 +1,114 @@
+//! The composite three-kernel workload behind the portfolio study
+//! (Figure 11): MMM, Black-Scholes and FFT-1024 as Multi-Amdahl
+//! segments, each carrying the Table 5 `(µ, φ)` of the device that
+//! accelerates it.
+//!
+//! The paper evaluates each kernel in isolation; the portfolio figure
+//! asks what a chip should look like when one program spends its
+//! parallel time across all three. The accelerated fraction `f` is
+//! split equally — each kernel takes `f/3` of baseline execution time —
+//! so the composite stays a one-knob family exactly like the paper's
+//! per-kernel panels.
+
+use crate::params::CalibrationError;
+use crate::table5::{Table5, WorkloadColumn};
+use ucore_core::{ParallelFraction, Segment, SegmentedWorkload};
+use ucore_devices::DeviceId;
+
+/// The three kernel columns of the composite workload, in figure order.
+pub const COMPOSITE_COLUMNS: [WorkloadColumn; 3] = [
+    WorkloadColumn::Mmm,
+    WorkloadColumn::Bs,
+    WorkloadColumn::Fft1024,
+];
+
+/// The composite workload for one device: serial weight `1 − f`, one
+/// segment of weight `f/3` per kernel, each with the device's Table 5
+/// `(µ, φ)` for that kernel.
+///
+/// All three portfolio devices (GTX285, LX760, ASIC) have a published
+/// Table 5 cell for every composite column.
+///
+/// ```
+/// use ucore_calibrate::{composite_workload, Table5};
+/// use ucore_core::ParallelFraction;
+/// use ucore_devices::DeviceId;
+/// let table = Table5::derive()?;
+/// let f = ParallelFraction::new(0.99)?;
+/// let w = composite_workload(&table, DeviceId::Asic, f)?;
+/// assert_eq!(w.segments().len(), 3);
+/// # Ok::<(), ucore_calibrate::CalibrationError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`CalibrationError::MissingMeasurement`] if the device lacks
+/// a Table 5 cell for one of the three kernels (e.g. the GTX480 never
+/// published a Black-Scholes measurement), and
+/// [`CalibrationError::InvalidParameters`] if the segment weights fail
+/// model validation (impossible for an in-range `f`).
+pub fn composite_workload(
+    table: &Table5,
+    device: DeviceId,
+    f: ParallelFraction,
+) -> Result<SegmentedWorkload, CalibrationError> {
+    let weight = f.get() / COMPOSITE_COLUMNS.len() as f64;
+    let mut segments = Vec::with_capacity(COMPOSITE_COLUMNS.len());
+    for column in COMPOSITE_COLUMNS {
+        let ucore = table.ucore(device, column).ok_or_else(|| {
+            CalibrationError::MissingMeasurement {
+                cell: format!("{column} on {device}"),
+            }
+        })?;
+        segments
+            .push(Segment::new(weight, ucore).map_err(CalibrationError::InvalidParameters)?);
+    }
+    SegmentedWorkload::new(f.serial(), segments).map_err(CalibrationError::InvalidParameters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composite_covers_all_three_kernels_for_the_portfolio_devices() {
+        let table = Table5::derive().unwrap();
+        let f = ParallelFraction::new(0.9).unwrap();
+        for device in [DeviceId::Gtx285, DeviceId::V6Lx760, DeviceId::Asic] {
+            let w = composite_workload(&table, device, f).unwrap();
+            assert_eq!(w.segments().len(), 3);
+            assert!((w.serial_weight() - 0.1).abs() < 1e-12);
+            assert!((w.parallel_weight() - 0.9).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn segment_parameters_come_from_table5() {
+        let table = Table5::derive().unwrap();
+        let f = ParallelFraction::new(0.99).unwrap();
+        let w = composite_workload(&table, DeviceId::Asic, f).unwrap();
+        // MMM is the first composite column; the ASIC cell is (27.4, 0.79).
+        assert!((w.segments()[0].ucore().mu() - 27.4).abs() < 0.6);
+        assert!((w.segments()[2].ucore().mu() - 489.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn devices_with_published_gaps_are_rejected() {
+        let table = Table5::derive().unwrap();
+        let f = ParallelFraction::new(0.9).unwrap();
+        // The GTX480 has no published Black-Scholes cell.
+        assert!(matches!(
+            composite_workload(&table, DeviceId::Gtx480, f),
+            Err(CalibrationError::MissingMeasurement { .. })
+        ));
+    }
+
+    #[test]
+    fn fully_serial_composite_is_legal() {
+        let table = Table5::derive().unwrap();
+        let f = ParallelFraction::new(0.0).unwrap();
+        let w = composite_workload(&table, DeviceId::Asic, f).unwrap();
+        assert_eq!(w.parallel_weight(), 0.0);
+        assert_eq!(w.serial_weight(), 1.0);
+    }
+}

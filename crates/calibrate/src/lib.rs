@@ -31,11 +31,13 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bce;
+pub mod composite;
 pub mod params;
 pub mod sensitivity;
 pub mod table5;
 
 pub use bce::BceCalibration;
+pub use composite::{composite_workload, COMPOSITE_COLUMNS};
 pub use params::{derive_ucore, CalibrationError, CALIBRATION_ALPHA, CALIBRATION_R};
 pub use sensitivity::{mu_ranking, table5_with_conventions};
 pub use table5::{Table5, Table5Row, WorkloadColumn};

@@ -66,8 +66,10 @@ pub mod hillmarty;
 pub mod metrics;
 pub mod mix;
 pub mod optimize;
+pub mod portfolio;
 pub mod powersave;
 pub mod profile;
+pub mod segments;
 pub mod seq;
 pub mod speedup;
 pub mod ucore;
@@ -84,8 +86,10 @@ pub use gustafson::scaled_speedup;
 pub use metrics::{energy_delay_product, perf_per_watt};
 pub use mix::{MixedChip, UCorePartition};
 pub use optimize::{Objective, OptimalDesign, Optimizer};
+pub use portfolio::{Allocation, PortfolioChip};
 pub use powersave::{min_power_for_target, IsoPerformanceDesign};
 pub use profile::{ParallelismProfile, Phase, ProfileOptimum};
+pub use segments::{Segment, SegmentedWorkload, WEIGHT_SUM_TOLERANCE};
 pub use seq::{PollackLaw, SequentialLaw, SerialPowerLaw, DEFAULT_ALPHA, SCENARIO_ALPHA};
 pub use speedup::{
     amdahl, asymmetric, asymmetric_offload, dynamic, heterogeneous, symmetric,

@@ -9,7 +9,8 @@ use proptest::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use ucore_core::{
     amdahl, Budgets, ChipSpec, EnergyModel, ErrorCategory, ModelError,
-    Optimizer, ParallelFraction, PollackLaw, SerialPowerLaw, Speedup, UCore,
+    Optimizer, ParallelFraction, PollackLaw, PortfolioChip, Segment,
+    SegmentedWorkload, SerialPowerLaw, Speedup, UCore,
 };
 
 /// One draw from the poisoned-input space: NaN, the infinities, zero,
@@ -135,6 +136,45 @@ proptest! {
             assert_rejects!(spec.evaluate(f, bad, 1.0, &budgets));
             assert_rejects!(spec.evaluate(f, 16.0, bad, &budgets));
         }
+    }
+
+    /// The n-segment ingress constructors reject poison the same way:
+    /// NaN/±∞/negative weights, poisoned caps and geometry, and the
+    /// structural degenerates (empty segment lists, weights that do not
+    /// partition 1) all `Err` through the taxonomy without panicking.
+    #[test]
+    fn segment_and_portfolio_constructors_reject_poisoned_inputs(
+        bad in poisoned(),
+        good in 0.5..50.0f64,
+    ) {
+        let ucore = UCore::new(27.4, 0.79).unwrap();
+        // Segment weight: NaN/±∞/negative are rejected (zero is legal,
+        // so only assert the strictly-bad draws).
+        if bad.is_nan() || bad.is_infinite() || bad < 0.0 {
+            assert_rejects!(Segment::new(bad, ucore));
+        }
+        let seg = Segment::new(0.5, ucore).unwrap();
+        assert_rejects!(seg.with_max_area(bad));
+
+        // Workload: poisoned serial weight, empty segments, bad sums.
+        if bad.is_nan() || bad.is_infinite() || bad < 0.0 {
+            assert_rejects!(SegmentedWorkload::new(bad, vec![seg]));
+        }
+        assert_rejects!(SegmentedWorkload::new(0.5, vec![]));
+        assert_rejects!(SegmentedWorkload::new(0.9, vec![seg]));
+
+        // Chip geometry: poisoned n/r and the r > n over-allocation.
+        let workload = SegmentedWorkload::new(0.5, vec![seg]).unwrap();
+        assert_rejects!(PortfolioChip::new(bad, 1.0, workload.clone()));
+        assert_rejects!(PortfolioChip::new(good + 1.0, bad, workload.clone()));
+        assert_rejects!(PortfolioChip::new(good, good * 2.0, workload.clone()));
+
+        // Evaluation-time degenerates return Err, never panic: a starved
+        // positive-weight segment and a wrong-length area vector.
+        let chip = PortfolioChip::new(good + 1.0, good, workload).unwrap();
+        assert_rejects!(chip.speedup_for(&[0.0]));
+        assert_rejects!(chip.speedup_for(&[1.0, 1.0]));
+        assert_rejects!(chip.allocate_exhaustive(0));
     }
 
     /// Poisoned-input rejections are *validation* errors: callers can

@@ -22,9 +22,10 @@ use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
-use ucore_calibrate::{BceCalibration, Table5, WorkloadColumn};
+use ucore_calibrate::{composite_workload, BceCalibration, Table5, WorkloadColumn};
 use ucore_core::{
-    Budgets, ChipSpec, EnergyModel, EvalCache, Optimizer, ParallelFraction,
+    Budgets, ChipSpec, EnergyModel, EvalCache, Limiter, Optimizer, ParallelFraction,
+    PortfolioChip, SegmentedWorkload,
 };
 use ucore_devices::DeviceId;
 use ucore_itrs::NodeParams;
@@ -64,6 +65,52 @@ pub enum DesignId {
     AsymCmp,
     /// `(2..6)` A heterogeneous chip built from the device's U-cores.
     Het(DeviceId),
+    /// A Multi-Amdahl chip on the composite three-kernel workload
+    /// (Figure 11). Appended after the original variants so the journal
+    /// fingerprints of pre-existing sweep points are untouched.
+    Portfolio(PortfolioDesign),
+}
+
+/// How a Figure 11 chip organizes its accelerator area across the
+/// composite workload's segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortfolioDesign {
+    /// One programmable U-core (GPU, or an FPGA reconfigured between
+    /// kernels) serving every segment with the *full* parallel area,
+    /// time-multiplexed.
+    Shared(DeviceId),
+    /// Kernel-specific U-cores of this device splitting the parallel
+    /// area under the KKT allocator — fixed-function silicon, so each
+    /// segment only ever touches its own slice.
+    Split(DeviceId),
+}
+
+impl PortfolioDesign {
+    /// The underlying device whose Table 5 cells parameterize every
+    /// segment.
+    pub fn device(&self) -> DeviceId {
+        match self {
+            PortfolioDesign::Shared(d) | PortfolioDesign::Split(d) => *d,
+        }
+    }
+
+    /// The legend label. The leading index doubles as the plot glyph
+    /// (second character), so each Figure 11 series gets a distinct one.
+    pub fn label(&self) -> String {
+        let idx = match self {
+            PortfolioDesign::Shared(DeviceId::Gtx285) => 0,
+            PortfolioDesign::Shared(DeviceId::V6Lx760) => 1,
+            PortfolioDesign::Split(DeviceId::V6Lx760) => 2,
+            PortfolioDesign::Split(DeviceId::Asic) => 3,
+            PortfolioDesign::Shared(_) => 8,
+            PortfolioDesign::Split(_) => 9,
+        };
+        let kind = match self {
+            PortfolioDesign::Shared(_) => "shared",
+            PortfolioDesign::Split(_) => "split",
+        };
+        format!("({idx}) {} {kind}", self.device().label())
+    }
 }
 
 impl DesignId {
@@ -75,6 +122,7 @@ impl DesignId {
             DesignId::Het(d) => {
                 format!("({}) {}", d.figure_index().unwrap_or(9), d.label())
             }
+            DesignId::Portfolio(p) => p.label(),
         }
     }
 
@@ -94,6 +142,19 @@ impl DesignId {
             }
         }
         designs
+    }
+
+    /// The Figure 11 series: single shared U-cores (the GPU and the
+    /// reconfigurable FPGA) against split portfolios (the FPGA
+    /// partitioned, and the kernel-specific ASIC bank — the only way an
+    /// ASIC can serve three kernels at all).
+    pub fn portfolio_designs() -> Vec<DesignId> {
+        vec![
+            DesignId::Portfolio(PortfolioDesign::Shared(DeviceId::Gtx285)),
+            DesignId::Portfolio(PortfolioDesign::Shared(DeviceId::V6Lx760)),
+            DesignId::Portfolio(PortfolioDesign::Split(DeviceId::V6Lx760)),
+            DesignId::Portfolio(PortfolioDesign::Split(DeviceId::Asic)),
+        ]
     }
 }
 
@@ -215,10 +276,85 @@ impl ProjectionEngine {
         })
     }
 
+    /// Evaluates one Figure 11 cell: the best composite-workload
+    /// portfolio chip over the scenario's `r` sweep. `None` when no `r`
+    /// leaves both area and power for the accelerators.
+    ///
+    /// For each candidate `r` the serial core claims `r` BCE of area and
+    /// `r^(α/2)` of power, leaving `A − r` and `P − r^(α/2)` for the
+    /// parallel phase. Only one accelerator runs at a time (the segments
+    /// are phases of one program), so power caps each segment's area at
+    /// `P_parallel / φ_k` rather than their sum:
+    ///
+    /// - [`PortfolioDesign::Shared`]: one programmable U-core serves all
+    ///   segments with area `min(A_parallel, min_k P_parallel/φ_k)`;
+    /// - [`PortfolioDesign::Split`]: the KKT allocator splits
+    ///   `A_parallel` into kernel-specific U-cores, each capped at its
+    ///   own `P_parallel / φ_k`.
+    ///
+    /// Portfolio points carry no energy model (`energy` is NaN, plotted
+    /// as a gap) and are bandwidth-exempt like the ASIC MMM core — the
+    /// composite study isolates the area/power trade.
+    pub(crate) fn portfolio_point(
+        &self,
+        design: PortfolioDesign,
+        node: &NodeParams,
+        budgets: &Budgets,
+        f: ParallelFraction,
+    ) -> Option<NodePoint> {
+        crate::durability::watchdog_checkpoint();
+        let _span = ucore_obs::span!("engine.portfolio");
+        let workload = composite_workload(&self.table5, design.device(), f).ok()?;
+        let power_law = self.scenario.power_law();
+        let mut best: Option<NodePoint> = None;
+        for r in self.optimizer().candidate_values() {
+            let a_par = budgets.area() - r;
+            if a_par <= 0.0 {
+                continue;
+            }
+            let p_par = budgets.power() - power_law.power_of_area(r);
+            if p_par <= 0.0 {
+                continue;
+            }
+            let evaluated = match design {
+                PortfolioDesign::Shared(_) => shared_point(&workload, r, a_par, p_par),
+                PortfolioDesign::Split(_) => split_point(&workload, r, a_par, p_par),
+            };
+            let Some((speedup, used, power_bound)) = evaluated else {
+                continue;
+            };
+            // First-wins strict-`>` argmax, the workspace's tie policy.
+            if best.as_ref().is_none_or(|b| speedup > b.speedup) {
+                best = Some(NodePoint {
+                    node: node.node,
+                    speedup,
+                    limiter: if power_bound { Limiter::Power } else { Limiter::Area },
+                    r,
+                    n: r + used,
+                    energy: f64::NAN,
+                });
+            }
+        }
+        best
+    }
+
+    /// The model budgets a portfolio design sweeps under: the MMM
+    /// column's BCE anchoring (the composite's first kernel) with the
+    /// bandwidth bound exempted.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ProjectionEngine::budgets`].
+    pub fn portfolio_budgets(&self, node: &NodeParams) -> Result<Budgets, ProjectionError> {
+        self.budgets(node, WorkloadColumn::Mmm, true)
+    }
+
     /// The chip spec for a design on a workload column.
     ///
     /// Returns `None` when the column has no published U-core for the
-    /// device.
+    /// device, and always for portfolio designs — they are evaluated by
+    /// [`ProjectionEngine::portfolio_point`], not the single-U-core
+    /// optimizer.
     pub fn chip_spec(&self, design: DesignId, column: WorkloadColumn) -> Option<ChipSpec> {
         let spec = match design {
             DesignId::SymCmp => ChipSpec::symmetric(),
@@ -226,16 +362,19 @@ impl ProjectionEngine {
             DesignId::Het(device) => {
                 ChipSpec::heterogeneous(self.table5.ucore(device, column)?)
             }
+            DesignId::Portfolio(_) => return None,
         };
         Some(spec.with_power_law(self.scenario.power_law()))
     }
 
     /// Whether the paper exempts this (design, column) pair from the
-    /// bandwidth bound.
+    /// bandwidth bound. Portfolio designs are always exempt (the
+    /// composite study isolates the area/power trade).
     pub fn bandwidth_exempt(design: DesignId, column: WorkloadColumn) -> bool {
         matches!(
             (design, column),
             (DesignId::Het(DeviceId::Asic), WorkloadColumn::Mmm)
+                | (DesignId::Portfolio(_), _)
         )
     }
 
@@ -368,6 +507,59 @@ pub struct YearPoint {
     pub speedup: f64,
     /// The binding resource.
     pub limiter: ucore_core::Limiter,
+}
+
+/// One shared-design candidate: the single programmable U-core runs
+/// every segment time-multiplexed on the same silicon, so it can use the
+/// full parallel area — up to the tightest per-kernel power cap.
+/// Returns `(speedup, used_area, power_bound)`.
+fn shared_point(
+    workload: &SegmentedWorkload,
+    r: f64,
+    a_par: f64,
+    p_par: f64,
+) -> Option<(f64, f64, bool)> {
+    let power_cap = workload
+        .segments()
+        .iter()
+        .filter(|s| s.weight() > 0.0)
+        .map(|s| p_par / s.ucore().phi())
+        .fold(f64::INFINITY, f64::min);
+    let area = a_par.min(power_cap);
+    if area <= 0.0 {
+        return None;
+    }
+    let chip = PortfolioChip::new(r + a_par, r, workload.clone()).ok()?;
+    let areas = vec![area; workload.segments().len()];
+    let speedup = chip.speedup_for(&areas).ok()?;
+    Some((speedup.get(), area, power_cap < a_par))
+}
+
+/// One split-design candidate: kernel-specific U-cores divide the
+/// parallel area under the KKT allocator, each capped at its own
+/// `P_parallel / φ_k` (only one is powered at a time). Returns
+/// `(speedup, used_area, power_bound)`.
+fn split_point(
+    workload: &SegmentedWorkload,
+    r: f64,
+    a_par: f64,
+    p_par: f64,
+) -> Option<(f64, f64, bool)> {
+    let mut capped = Vec::with_capacity(workload.segments().len());
+    for seg in workload.segments() {
+        capped.push(seg.with_max_area(p_par / seg.ucore().phi()).ok()?);
+    }
+    let workload = SegmentedWorkload::new(workload.serial_weight(), capped).ok()?;
+    let chip = PortfolioChip::new(r + a_par, r, workload).ok()?;
+    let alloc = chip.allocate().ok()?;
+    let used: f64 = alloc.areas.iter().sum();
+    let power_bound = chip
+        .workload()
+        .segments()
+        .iter()
+        .zip(&alloc.areas)
+        .any(|(seg, &a)| seg.max_area().is_some_and(|cap| a >= cap));
+    Some((alloc.speedup.get(), used, power_bound))
 }
 
 /// The workload kinds the projections cover, with their columns.
@@ -569,5 +761,116 @@ mod tests {
             .project(DesignId::Het(DeviceId::R5870), WorkloadColumn::Bs, f(0.9))
             .unwrap_err();
         assert!(matches!(err, ProjectionError::Calibration(_)));
+    }
+
+    fn portfolio_points(
+        e: &ProjectionEngine,
+        design: PortfolioDesign,
+        fv: f64,
+    ) -> Vec<NodePoint> {
+        let mut points = Vec::new();
+        for node in e.scenario().roadmap().nodes() {
+            let budgets = e.portfolio_budgets(node).unwrap();
+            if let Some(p) = e.portfolio_point(design, node, &budgets, f(fv)) {
+                points.push(p);
+            }
+        }
+        points
+    }
+
+    #[test]
+    fn portfolio_labels_have_distinct_glyph_characters() {
+        let designs = DesignId::portfolio_designs();
+        assert_eq!(designs.len(), 4);
+        let glyphs: std::collections::BTreeSet<char> = designs
+            .iter()
+            .map(|d| d.label().chars().nth(1).unwrap())
+            .collect();
+        assert_eq!(glyphs.len(), designs.len(), "series glyphs collide");
+        // Portfolio designs never map to a single-U-core chip spec and
+        // are always bandwidth-exempt.
+        for d in designs {
+            assert!(e_chip_spec_is_none(d));
+            assert!(ProjectionEngine::bandwidth_exempt(d, WorkloadColumn::Mmm));
+            assert!(ProjectionEngine::bandwidth_exempt(d, WorkloadColumn::Bs));
+        }
+    }
+
+    fn e_chip_spec_is_none(d: DesignId) -> bool {
+        engine().chip_spec(d, WorkloadColumn::Mmm).is_none()
+    }
+
+    #[test]
+    fn every_portfolio_design_projects_across_all_nodes() {
+        let e = engine();
+        for design in DesignId::portfolio_designs() {
+            let DesignId::Portfolio(p) = design else { unreachable!() };
+            let pts = portfolio_points(&e, p, 0.99);
+            assert_eq!(pts.len(), 5, "{design}");
+            for pair in pts.windows(2) {
+                assert!(
+                    pair[1].speedup >= pair[0].speedup * 0.99,
+                    "{design} regressed across nodes"
+                );
+            }
+            for pt in &pts {
+                assert!(pt.speedup >= 1.0, "{design} slower than baseline");
+                assert!(pt.energy.is_nan(), "portfolio energy is a NaN gap");
+                assert!(pt.n >= pt.r);
+            }
+        }
+    }
+
+    #[test]
+    fn split_asic_portfolio_beats_every_shared_programmable() {
+        // The kernel-specific ASIC bank is the portfolio argument in one
+        // line: splitting area among fixed-function cores beats giving
+        // the whole parallel region to any programmable device.
+        let e = engine();
+        let asic = portfolio_points(&e, PortfolioDesign::Split(DeviceId::Asic), 0.99);
+        for shared in [
+            PortfolioDesign::Shared(DeviceId::Gtx285),
+            PortfolioDesign::Shared(DeviceId::V6Lx760),
+        ] {
+            let other = portfolio_points(&e, shared, 0.99);
+            for (a, o) in asic.iter().zip(&other) {
+                assert!(
+                    a.speedup > o.speedup,
+                    "{shared:?} beat the ASIC portfolio at {:?}",
+                    a.node
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_fpga_beats_shared_only_when_power_binds() {
+        // Reconfiguring one big FPGA between kernels time-shares the
+        // full parallel area, so under an area bound the shared device
+        // can never lose to three static partitions of the same silicon.
+        // Under a *power* bound the tables turn: the shared fabric must
+        // be sized for its hungriest kernel (`min_k P/φ_k`), while split
+        // cores are each sized to their own kernel's φ.
+        let e = engine();
+        let shared = portfolio_points(&e, PortfolioDesign::Shared(DeviceId::V6Lx760), 0.99);
+        let split = portfolio_points(&e, PortfolioDesign::Split(DeviceId::V6Lx760), 0.99);
+        let mut split_won_somewhere = false;
+        for (sh, sp) in shared.iter().zip(&split) {
+            if sh.limiter == Limiter::Area {
+                assert!(
+                    sh.speedup >= sp.speedup * (1.0 - 1e-9),
+                    "split FPGA beat area-limited shared at {:?}",
+                    sh.node
+                );
+            } else if sp.speedup > sh.speedup {
+                split_won_somewhere = true;
+            }
+        }
+        // The dark-silicon squeeze makes the late nodes power-bound, so
+        // the per-kernel sizing advantage must show up somewhere.
+        assert!(
+            split_won_somewhere,
+            "power never bound: the split-vs-shared contrast is vacuous"
+        );
     }
 }

@@ -35,9 +35,23 @@ fn figure_with_metric(
 ) -> Result<FigureData, ProjectionError> {
     let engine = ProjectionEngine::new(scenario)?;
     let designs = DesignId::for_column(engine.table5(), column);
+    assemble_figure(&engine, id, title, &designs, column, f_values, metric)
+}
+
+/// The shared assembly tail: fans the `(f, design, node)` grid over the
+/// sweep and folds the ordered results into panels/series.
+fn assemble_figure(
+    engine: &ProjectionEngine,
+    id: &str,
+    title: &str,
+    designs: &[DesignId],
+    column: WorkloadColumn,
+    f_values: &[f64],
+    metric: Metric,
+) -> Result<FigureData, ProjectionError> {
     let nodes_per_series = engine.scenario().roadmap().nodes().len();
-    let points = figure_points(&engine, &designs, column, f_values)?;
-    let (results, stats) = sweep(&engine, points, &SweepConfig::default());
+    let points = figure_points(engine, designs, column, f_values)?;
+    let (results, stats) = sweep(engine, points, &SweepConfig::default());
 
     // Reassemble the ordered results into panels: the batch was built
     // with f outermost, then design, then node, so consecutive
@@ -49,7 +63,7 @@ fn figure_with_metric(
     let mut failures = Vec::new();
     for &fv in f_values {
         let mut series = Vec::with_capacity(designs.len());
-        for &design in &designs {
+        for &design in designs {
             let Some(chunk) = chunks.next() else {
                 // Unreachable while figure_points covers the grid, but a
                 // short figure must never panic mid-assembly.
@@ -162,6 +176,28 @@ pub fn figure10() -> Result<FigureData, ProjectionError> {
         WorkloadColumn::Mmm,
         &[0.5, 0.9, 0.99],
         Metric::Energy,
+    )
+}
+
+/// Figure 11: the composite three-kernel workload (MMM, Black-Scholes,
+/// and FFT-1024 in equal parallel shares) under the baseline scenario,
+/// contrasting single shared U-cores against split accelerator
+/// portfolios allocated by the Multi-Amdahl KKT rule.
+///
+/// # Errors
+///
+/// Propagates calibration failures.
+pub fn figure11() -> Result<FigureData, ProjectionError> {
+    let engine = ProjectionEngine::new(Scenario::baseline())?;
+    let designs = DesignId::portfolio_designs();
+    assemble_figure(
+        &engine,
+        "figure-11",
+        "Composite-workload portfolio projection",
+        &designs,
+        WorkloadColumn::Mmm,
+        &[0.9, 0.99, 0.999],
+        Metric::Speedup,
     )
 }
 
@@ -285,6 +321,23 @@ mod tests {
         // The ASIC's edge shrinks: within ~2.5x instead of orders of
         // magnitude.
         assert!(cmp / asic < 2.5, "ratio {}", cmp / asic);
+    }
+
+    #[test]
+    fn figure11_structure_and_portfolio_ordering() {
+        let fig = figure11().unwrap();
+        assert_eq!(fig.panels.len(), 3);
+        for panel in &fig.panels {
+            assert_eq!(panel.series.len(), 4, "f = {}", panel.f);
+            for series in &panel.series {
+                assert_eq!(series.points.len(), 5, "{}", series.label);
+            }
+        }
+        // The split ASIC bank tops the composite chart, like the single
+        // ASIC tops every per-kernel chart.
+        let asic = fig.value(0.99, "ASIC", TechNode::N11).unwrap();
+        let gpu = fig.value(0.99, "GTX285", TechNode::N11).unwrap();
+        assert!(asic > gpu, "ASIC {asic} vs GTX285 {gpu}");
     }
 
     #[test]

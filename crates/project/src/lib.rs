@@ -96,7 +96,9 @@ pub use durability::{
     watchdog_checkpoint, DurabilityConfig, DurabilityError, DurabilityGuard,
     DurabilityTotals, RequestDeadlineGuard,
 };
-pub use engine::{DesignId, ProjectionEngine, ProjectionError, YearPoint};
+pub use engine::{
+    DesignId, PortfolioDesign, ProjectionEngine, ProjectionError, YearPoint,
+};
 pub use journal::{
     atomic_write, atomic_write_with, point_fingerprint, read_records, JournalError,
     JournalRecord, JournalWriter, ReplayReport,

@@ -870,6 +870,11 @@ fn evaluate(
     point: &SweepPoint,
     use_cache: bool,
 ) -> Option<NodePoint> {
+    // Portfolio designs have no single-U-core chip spec: they sweep the
+    // Multi-Amdahl allocator instead of the cached optimizer.
+    if let DesignId::Portfolio(design) = point.design {
+        return engine.portfolio_point(design, &point.node, &point.budgets, point.f);
+    }
     let spec = engine.chip_spec(point.design, point.column)?;
     engine.node_point(&spec, &point.node, &point.budgets, point.f, use_cache)
 }

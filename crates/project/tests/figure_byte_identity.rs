@@ -23,6 +23,7 @@ fn render(threads: &str) -> Vec<(&'static str, String)> {
         ("figure8", json(figures::figure8().expect("figure 8 projects"))),
         ("figure9", json(figures::figure9().expect("figure 9 projects"))),
         ("figure10", json(figures::figure10().expect("figure 10 projects"))),
+        ("figure11", json(figures::figure11().expect("figure 11 projects"))),
     ];
     std::env::remove_var("UCORE_SWEEP_THREADS");
     out

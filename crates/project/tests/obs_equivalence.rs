@@ -3,7 +3,7 @@
 //! DESIGN.md §14 promises that arming the full observability stack —
 //! span tracing into the ring buffer, metrics counters, the lot — does
 //! not change a single byte of serialized figure output, at any worker
-//! thread count. This suite renders figures 5–10 twice per thread
+//! thread count. This suite renders figures 6–11 twice per thread
 //! count, once with tracing fully enabled and once fully disabled, and
 //! diffs the JSON byte for byte. (Metrics counters cannot be "turned
 //! off" — they are always-on atomics — so the enabled/disabled axis is
@@ -27,6 +27,7 @@ fn render(threads: &str, traced: bool) -> Vec<(&'static str, String)> {
         ("figure8", json(figures::figure8().expect("figure 8 projects"))),
         ("figure9", json(figures::figure9().expect("figure 9 projects"))),
         ("figure10", json(figures::figure10().expect("figure 10 projects"))),
+        ("figure11", json(figures::figure11().expect("figure 11 projects"))),
     ];
     std::env::remove_var("UCORE_SWEEP_THREADS");
     out

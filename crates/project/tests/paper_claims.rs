@@ -144,6 +144,36 @@ fn figure10_goldens() {
     );
 }
 
+// --- Figure 11: composite-workload portfolio projection --------------
+
+const F11_ASIC_SPLIT_F0999_N11: f64 = 1093.5655645094646;
+const F11_GTX285_SHARED_F099_N11: f64 = 106.17223687703978;
+const F11_LX760_SPLIT_F09_N40: f64 = 6.502298292172333;
+
+#[test]
+fn figure11_goldens() {
+    let fig = figures::figure11().unwrap();
+    assert_close(
+        fig.value(0.999, "ASIC", TechNode::N11).unwrap(),
+        F11_ASIC_SPLIT_F0999_N11,
+        "figure 11, f=0.999, ASIC split, 11 nm",
+    );
+    assert_close(
+        fig.value(0.99, "GTX285", TechNode::N11).unwrap(),
+        F11_GTX285_SHARED_F099_N11,
+        "figure 11, f=0.99, GTX285 shared, 11 nm",
+    );
+    assert_close(
+        fig.value(0.9, "LX760 split", TechNode::N40).unwrap(),
+        F11_LX760_SPLIT_F09_N40,
+        "figure 11, f=0.9, LX760 split, 40 nm",
+    );
+    // The split ASIC bank on the composite outruns even the MMM-only
+    // ASIC: two thirds of its parallel time runs on far denser U-cores.
+    let asic_split = fig.value(0.999, "ASIC", TechNode::N11).unwrap();
+    assert!(asic_split > F7_ASIC_F0999_N11);
+}
+
 // --- Figure 5: ITRS 2009 scaling trends ------------------------------
 
 #[test]
@@ -223,6 +253,13 @@ fn dump_goldens() {
     println!("F9_ASIC_F0999_N11: {:?}", f9.value(0.999, "ASIC", TechNode::N11).unwrap());
     println!("F10_ASIC_F09_N40: {:?}", f10.value(0.9, "ASIC", TechNode::N40).unwrap());
     println!("F10_SYMCMP_F09_N40: {:?}", f10.value(0.9, "SymCMP", TechNode::N40).unwrap());
+    let f11 = figures::figure11().unwrap();
+    println!("F11_ASIC_SPLIT_F0999_N11: {:?}", f11.value(0.999, "ASIC", TechNode::N11).unwrap());
+    println!("F11_GTX285_SHARED_F099_N11: {:?}", f11.value(0.99, "GTX285", TechNode::N11).unwrap());
+    println!(
+        "F11_LX760_SPLIT_F09_N40: {:?}",
+        f11.value(0.9, "LX760 split", TechNode::N40).unwrap()
+    );
     let table5 = ucore_calibrate::Table5::derive().unwrap();
     let asic_mmm =
         table5.ucore(DeviceId::Asic, ucore_calibrate::WorkloadColumn::Mmm).unwrap();

@@ -90,7 +90,7 @@ fn route(request: &Request) -> Result<Route, ServeError> {
 }
 
 /// Maps a GET path to its render target. Validation of the *value*
-/// (`figure 11 is not one of 2-10`) belongs to the render layer; only
+/// (`figure 12 is not one of 2-11`) belongs to the render layer; only
 /// the path shape is decided here.
 fn artifact_route(path: &str) -> Result<Route, ServeError> {
     let target = if let Some(n) = path.strip_prefix("/table/") {

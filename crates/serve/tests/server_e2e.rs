@@ -117,6 +117,11 @@ fn served_bodies_are_byte_identical_to_the_render_path() {
     for (path, target) in [
         ("/json/figure-6", Target::Json("figure-6".into())),
         ("/csv/figure-6", Target::Csv("figure-6".into())),
+        // The portfolio figure routes through a different evaluator
+        // (the Multi-Amdahl allocator, not the cached optimizer), so it
+        // gets its own byte-identity case.
+        ("/json/figure-11", Target::Json("figure-11".into())),
+        ("/figure/11", Target::Figure("11".into())),
         ("/table/5", Target::Table("5".into())),
         ("/scenario/1", Target::Scenario("1".into())),
     ] {
